@@ -1,0 +1,7 @@
+"""EXP-A1 bench: memoryless vs sticky (LCC) election ablation."""
+
+from repro.experiments import e_a1_election_mode
+
+
+def test_bench_a1_election_mode(run_experiment):
+    run_experiment(e_a1_election_mode.run, quick=True, seeds=(0,))

@@ -1,0 +1,7 @@
+"""EXP-A2 bench: radio-model vs contraction cluster-graph ablation."""
+
+from repro.experiments import e_a2_level_mode
+
+
+def test_bench_a2_level_mode(run_experiment):
+    run_experiment(e_a2_level_mode.run, quick=True, seeds=(0,))

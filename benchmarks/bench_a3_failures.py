@@ -1,0 +1,7 @@
+"""EXP-A3 bench: handoff under node failure (excluded-factor extension)."""
+
+from repro.experiments import e_a3_failures
+
+
+def test_bench_a3_failures(run_experiment):
+    run_experiment(e_a3_failures.run, quick=True, seeds=(0,))

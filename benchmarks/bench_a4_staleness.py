@@ -1,0 +1,7 @@
+"""EXP-A4 bench: address-component lifetimes / LM staleness extension."""
+
+from repro.experiments import e_a4_staleness
+
+
+def test_bench_a4_staleness(run_experiment):
+    run_experiment(e_a4_staleness.run, quick=True, seeds=(0,))

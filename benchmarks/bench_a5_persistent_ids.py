@@ -1,0 +1,7 @@
+"""EXP-A5 bench: cluster-identity persistence recovers the gamma bound."""
+
+from repro.experiments import e_a5_persistent_ids
+
+
+def test_bench_a5_persistent_ids(run_experiment):
+    run_experiment(e_a5_persistent_ids.run, quick=True, seeds=(0,))

@@ -1,0 +1,7 @@
+"""EXP-A6 bench: query correctness with a stale LM database."""
+
+from repro.experiments import e_a6_query_staleness
+
+
+def test_bench_a6_query_staleness(run_experiment):
+    run_experiment(e_a6_query_staleness.run, quick=True, seeds=(0,))

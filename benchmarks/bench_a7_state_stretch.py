@@ -1,0 +1,7 @@
+"""EXP-A7 bench: routing state vs path stretch tradeoff."""
+
+from repro.experiments import e_a7_state_stretch
+
+
+def test_bench_a7_state_stretch(run_experiment):
+    run_experiment(e_a7_state_stretch.run, quick=True, seeds=(0,))

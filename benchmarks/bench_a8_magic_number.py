@@ -1,0 +1,7 @@
+"""EXP-A8 bench: degree sensitivity ("six is a magic number")."""
+
+from repro.experiments import e_a8_magic_number
+
+
+def test_bench_a8_magic_number(run_experiment):
+    run_experiment(e_a8_magic_number.run, quick=True, seeds=(0,))

@@ -1,0 +1,7 @@
+"""EXP-A9 bench: end-to-end session success on the full stack."""
+
+from repro.experiments import e_a9_end_to_end
+
+
+def test_bench_a9_end_to_end(run_experiment):
+    run_experiment(e_a9_end_to_end.run, quick=True, seeds=(0,))

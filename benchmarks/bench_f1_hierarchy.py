@@ -1,0 +1,7 @@
+"""EXP-F1 bench: regenerate the Fig. 1 hierarchy table."""
+
+from repro.experiments import e_f1_hierarchy
+
+
+def test_bench_f1_hierarchy(run_experiment):
+    run_experiment(e_f1_hierarchy.run, quick=True)

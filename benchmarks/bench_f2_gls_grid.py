@@ -1,0 +1,7 @@
+"""EXP-F2 bench: regenerate the Fig. 2 GLS grid table."""
+
+from repro.experiments import e_f2_gls_grid
+
+
+def test_bench_f2_gls_grid(run_experiment):
+    run_experiment(e_f2_gls_grid.run, quick=True)

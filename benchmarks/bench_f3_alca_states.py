@@ -1,0 +1,7 @@
+"""EXP-F3 bench: Fig. 3 ALCA states + Eq. (22) q_1 quantification."""
+
+from repro.experiments import e_f3_alca_states
+
+
+def test_bench_f3_alca_states(run_experiment):
+    run_experiment(e_f3_alca_states.run, quick=True, seeds=(0,))

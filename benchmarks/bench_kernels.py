@@ -1,0 +1,104 @@
+"""Microbenchmarks for the simulator's hot kernels.
+
+These are conventional pytest-benchmark measurements (many rounds) of
+the per-step operations whose cost bounds the sweep sizes: unit-disk
+neighbor search, LCA election, hierarchy construction, CHLM assignment,
+and a full simulator step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import elect
+from repro.core import full_assignment
+from repro.geometry import disc_for_density
+from repro.graphs import CompactGraph, bfs_distances
+from repro.hierarchy import build_hierarchy
+from repro.radio import radius_for_degree, unit_disk_edges
+
+N = 1000
+DENSITY = 0.02
+DEGREE = 9.0
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    region = disc_for_density(N, DENSITY)
+    rng = np.random.default_rng(0)
+    pts = region.sample(N, rng)
+    r_tx = radius_for_degree(DEGREE, DENSITY)
+    edges = unit_disk_edges(pts, r_tx)
+    return pts, r_tx, edges
+
+
+def test_bench_unit_disk_edges(benchmark, deployment):
+    pts, r_tx, _ = deployment
+    result = benchmark(unit_disk_edges, pts, r_tx)
+    assert len(result) > N  # supercritical degree
+
+
+def test_bench_lca_election(benchmark, deployment):
+    _, _, edges = deployment
+    ids = np.arange(N)
+    result = benchmark(elect, ids, edges)
+    assert result.n_clusters < N
+
+
+def test_bench_build_hierarchy_radio(benchmark, deployment):
+    pts, r_tx, edges = deployment
+    h = benchmark(
+        build_hierarchy,
+        np.arange(N),
+        edges,
+        max_levels=4,
+        level_mode="radio",
+        positions=pts,
+        r0=r_tx,
+    )
+    assert h.num_levels >= 2
+
+
+def test_bench_full_assignment(benchmark, deployment):
+    pts, r_tx, edges = deployment
+    h = build_hierarchy(
+        np.arange(N), edges, max_levels=4, level_mode="radio",
+        positions=pts, r0=r_tx,
+    )
+    a = benchmark(full_assignment, h)
+    # Levels 2..L plus the virtual global level: L entries per subject.
+    assert len(a.servers) == N * h.num_levels
+
+
+def test_bench_bfs_distances(benchmark, deployment):
+    _, _, edges = deployment
+    g = CompactGraph(np.arange(N), edges)
+    d = benchmark(bfs_distances, g, 0)
+    assert (d >= -1).all()
+
+
+def test_bench_forwarding_fabric(benchmark, deployment):
+    from repro.routing import ForwardingFabric
+
+    pts, r_tx, edges = deployment
+    h = build_hierarchy(
+        np.arange(N), edges, max_levels=4, level_mode="radio",
+        positions=pts, r0=r_tx,
+    )
+    g = CompactGraph(np.arange(N), edges)
+    fab = benchmark.pedantic(
+        lambda: ForwardingFabric(h, g), rounds=3, iterations=1
+    )
+    assert fab.table_sizes().mean() > 0
+
+
+def test_bench_simulator_step(benchmark):
+    from repro.sim import Scenario, Simulator
+
+    sc = Scenario(n=400, steps=1, warmup=0, speed=1.0, hop_mode="euclidean",
+                  max_levels=3, seed=0)
+
+    def one_run():
+        return Simulator(sc, hop_sample_every=10_000).run()
+
+    res = benchmark.pedantic(one_run, rounds=3, iterations=1, warmup_rounds=1)
+    assert res.elapsed > 0

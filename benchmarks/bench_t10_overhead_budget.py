@@ -1,0 +1,7 @@
+"""EXP-T10 bench: handoff vs registration vs query budget (Section 6)."""
+
+from repro.experiments import e_t10_overhead_budget
+
+
+def test_bench_t10_overhead_budget(run_experiment):
+    run_experiment(e_t10_overhead_budget.run, quick=True, seeds=(0,))

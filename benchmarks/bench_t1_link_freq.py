@@ -1,0 +1,7 @@
+"""EXP-T1 bench: f_0 = Theta(1) (Eq. 4)."""
+
+from repro.experiments import e_t1_link_freq
+
+
+def test_bench_t1_link_freq(run_experiment):
+    run_experiment(e_t1_link_freq.run, quick=True, seeds=(0,))

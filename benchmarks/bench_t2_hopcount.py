@@ -1,0 +1,7 @@
+"""EXP-T2 bench: h = Theta(sqrt n), h_k = Theta(sqrt c_k) (Eq. 3)."""
+
+from repro.experiments import e_t2_hopcount
+
+
+def test_bench_t2_hopcount(run_experiment):
+    run_experiment(e_t2_hopcount.run, quick=True, seeds=(0,))

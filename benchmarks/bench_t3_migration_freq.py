@@ -1,0 +1,7 @@
+"""EXP-T3 bench: f_k = Theta(1/h_k) (Eqs. 7-9)."""
+
+from repro.experiments import e_t3_migration_freq
+
+
+def test_bench_t3_migration_freq(run_experiment):
+    run_experiment(e_t3_migration_freq.run, quick=True, seeds=(0,))

@@ -1,0 +1,7 @@
+"""EXP-T4 bench: phi = O(log^2 |V|) (Section 4) — the headline bound."""
+
+from repro.experiments import e_t4_migration_handoff
+
+
+def test_bench_t4_migration_handoff(run_experiment):
+    run_experiment(e_t4_migration_handoff.run, quick=True, seeds=(0,))

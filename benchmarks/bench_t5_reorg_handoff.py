@@ -1,0 +1,7 @@
+"""EXP-T5 bench: gamma = O(log^2 |V|) + event taxonomy (Section 5)."""
+
+from repro.experiments import e_t5_reorg_handoff
+
+
+def test_bench_t5_reorg_handoff(run_experiment):
+    run_experiment(e_t5_reorg_handoff.run, quick=True, seeds=(0,))

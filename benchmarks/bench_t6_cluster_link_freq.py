@@ -1,0 +1,7 @@
+"""EXP-T6 bench: Eq. (13b) and Eq. (14) per-level link structure."""
+
+from repro.experiments import e_t6_cluster_link_freq
+
+
+def test_bench_t6_cluster_link_freq(run_experiment):
+    run_experiment(e_t6_cluster_link_freq.run, quick=True, seeds=(0,))

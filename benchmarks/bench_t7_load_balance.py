@@ -1,0 +1,7 @@
+"""EXP-T7 bench: CHLM hash equitability vs the naive Eq. (5) hash."""
+
+from repro.experiments import e_t7_load_balance
+
+
+def test_bench_t7_load_balance(run_experiment):
+    run_experiment(e_t7_load_balance.run, quick=True, seeds=(0, 1))

@@ -1,0 +1,7 @@
+"""EXP-T8 bench: GLS vs CHLM overhead under identical mobility."""
+
+from repro.experiments import e_t8_gls_vs_chlm
+
+
+def test_bench_t8_gls_vs_chlm(run_experiment):
+    run_experiment(e_t8_gls_vs_chlm.run, quick=True, seeds=(0,))

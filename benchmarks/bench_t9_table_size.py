@@ -1,0 +1,7 @@
+"""EXP-T9 bench: hierarchical map vs flat routing table sizes."""
+
+from repro.experiments import e_t9_table_size
+
+
+def test_bench_t9_table_size(run_experiment):
+    run_experiment(e_t9_table_size.run, quick=True, seeds=(0, 1))

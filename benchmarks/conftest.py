@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Each experiment bench runs its experiment once under pytest-benchmark
+(rounds=1 — these are end-to-end simulations, not microkernels) and
+prints the regenerated table, so ``pytest benchmarks/ --benchmark-only``
+reproduces every figure/claim of the paper in one command.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment's ``run`` callable once, print its table."""
+
+    def _run(fn, **kwargs):
+        result = benchmark.pedantic(
+            lambda: fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+        )
+        print()
+        print(result.to_text())
+        assert result.rows, "experiment produced no rows"
+        return result
+
+    return _run

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Disaster-relief deployment: squad (group) mobility vs independent RWP.
+
+Hierarchical MANET papers (HSR [11,12], MMWN [13] — the systems that
+motivate this paper's analysis) target exactly this workload: rescue
+squads whose members move *together*.  Group motion keeps level-1
+clusters nearly frozen, so location-management handoff should collapse
+compared to independent random-waypoint motion of the same population at
+the same speed.
+
+This example runs both mobility regimes over the same deployment scale
+and prints the handoff ledger side by side.
+
+Run:  python examples/disaster_relief_scenario.py
+"""
+
+import numpy as np
+
+from repro.sim import Scenario, run_scenario
+
+
+def describe(label: str, res) -> None:
+    led = res.ledger
+    print(f"\n--- {label} ---")
+    print(f"  f_0 (link churn)        : {res.f0:7.3f} events/node/s")
+    print(f"  phi (migration handoff) : {res.phi:7.3f} pkts/node/s")
+    print(f"  gamma (reorg handoff)   : {res.gamma:7.3f} pkts/node/s")
+    print(f"  registration            : {led.registration_rate:7.3f} pkts/node/s")
+    print(f"  pure migration events/s : "
+          + ", ".join(f"k={k}: {v:.3f}" for k, v in led.f_k().items()))
+
+
+def main():
+    n = 240
+    steps = 60
+    speed = 2.0  # squads move fast; what matters is *relative* motion
+
+    rwp = Scenario(
+        n=n, steps=steps, warmup=10, speed=speed, seed=3,
+        mobility="random_waypoint", max_levels=3,
+    )
+    squads = Scenario(
+        n=n, steps=steps, warmup=10, speed=speed, seed=3,
+        mobility="group",
+        mobility_kwargs={"n_groups": 12, "group_radius": 25.0,
+                         "jitter_speed": 0.3},
+        max_levels=3,
+    )
+
+    print(f"{n} responders, {speed} m/s, {steps} s metered "
+          f"(12 squads of ~{n // 12} in the group regime)")
+    res_rwp = run_scenario(rwp)
+    describe("independent motion (random waypoint)", res_rwp)
+    res_grp = run_scenario(squads)
+    describe("squad motion (reference-point group mobility)", res_grp)
+
+    total_rwp = res_rwp.handoff_rate
+    total_grp = res_grp.handoff_rate
+    print(f"\ntotal handoff: {total_rwp:.2f} -> {total_grp:.2f} pkts/node/s "
+          f"({total_rwp / max(total_grp, 1e-9):.2f}x)")
+    fk_r = res_rwp.ledger.f_k()
+    fk_g = res_grp.ledger.f_k()
+    for k in sorted(set(fk_r) & set(fk_g)):
+        if fk_g[k] > 0:
+            print(f"  level-{k} migration events: {fk_r[k]:.3f} -> "
+                  f"{fk_g[k]:.3f} /node/s ({fk_r[k] / fk_g[k]:.1f}x less)")
+    print("Reading: group correlation cuts *boundary crossings* — and the "
+          "cut deepens with level, because squads rarely leave high-level "
+          "clusters.  Residual gamma comes from squads brushing past each "
+          "other (link churn between groups).")
+
+
+if __name__ == "__main__":
+    main()

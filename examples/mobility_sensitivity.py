@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Ablation: how the handoff bound responds to the mobility model.
+
+The paper analyzes random waypoint (zero pause).  This example holds
+everything else fixed and swaps the mobility model: random direction
+(uniform stationary distribution — removes RWP's center-density bias),
+group mobility (correlated motion), a pause-time variant, and the
+stationary control (which must meter exactly zero).
+
+Run:  python examples/mobility_sensitivity.py
+"""
+
+from repro.sim import Scenario, run_scenario
+
+
+def main():
+    n = 200
+    steps = 50
+    variants = [
+        ("random waypoint, zero pause (paper)",
+         dict(mobility="random_waypoint")),
+        ("random waypoint, 10 s pause",
+         dict(mobility="random_waypoint", mobility_kwargs={"pause": 10.0})),
+        ("random direction (billiard)",
+         dict(mobility="random_direction")),
+        ("group mobility (8 squads)",
+         dict(mobility="group",
+              mobility_kwargs={"n_groups": 8, "group_radius": 30.0})),
+        ("stationary (control: must be zero)",
+         dict(mobility="stationary")),
+    ]
+
+    print(f"{'model':44s} {'f_0':>8} {'phi':>8} {'gamma':>8} {'total':>8}")
+    for label, overrides in variants:
+        sc = Scenario(n=n, steps=steps, warmup=10, speed=1.0, seed=5,
+                      max_levels=3, **overrides)
+        res = run_scenario(sc)
+        print(f"{label:44s} {res.f0:>8.3f} {res.phi:>8.3f} "
+              f"{res.gamma:>8.3f} {res.handoff_rate:>8.3f}")
+
+    print("\nReading: handoff tracks *relative* motion.  Pauses and group "
+          "correlation cut it; the stationary row certifies the meter has "
+          "no false positives.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Scaling study: reproduce the paper's headline Theta(log^2 |V|) bound.
+
+Sweeps the node count at fixed density with L = Theta(log n) hierarchy
+levels, meters migration (phi) and reorganization (gamma) handoff rates,
+and fits the total against the competing growth shapes.  This is the
+executable version of the paper's conclusion: "the capacity of MANET
+links need only grow at a polylogarithmic rate".
+
+Run:  python examples/scaling_study.py [--full] [--parallel]
+"""
+
+import sys
+from dataclasses import replace
+
+import numpy as np
+
+from repro.analysis import (
+    compare_shapes,
+    fit_power,
+    levels_for,
+    parallel_sweep,
+    shape_by_flatness,
+    sweep,
+)
+from repro.sim import Scenario
+
+METRICS = {
+    "phi": lambda r: r.phi,
+    "gamma": lambda r: r.gamma,
+    "total": lambda r: r.handoff_rate,
+}
+
+
+def main():
+    full = "--full" in sys.argv
+    use_parallel = "--parallel" in sys.argv
+    ns = (100, 200, 400, 800, 1600, 3200) if full else (100, 200, 400, 800)
+    seeds = (0, 1, 2) if full else (0, 1)
+    steps = 80 if full else 40
+
+    base = Scenario(n=100, steps=steps, warmup=10, speed=1.0,
+                    hop_mode="euclidean")
+    runner = parallel_sweep if use_parallel else sweep
+    print(f"sweeping n in {ns} with {len(seeds)} seeds, {steps} steps each"
+          f" ({'parallel' if use_parallel else 'serial'})...")
+    points = runner(
+        ns, base,
+        metrics=METRICS,
+        seeds=seeds,
+        scenario_for=lambda sc, n: replace(sc, max_levels=levels_for(n)),
+    )
+
+    print(f"\n{'n':>6} {'L':>3} {'phi':>8} {'gamma':>8} {'total':>8} "
+          f"{'total/log^2n':>13} {'total/sqrt(n)':>14}")
+    for p in points:
+        n = p.n
+        print(f"{n:>6} {levels_for(n):>3} {p['phi']:>8.3f} {p['gamma']:>8.3f} "
+              f"{p['total']:>8.3f} {p['total'] / np.log(n) ** 2:>13.4f} "
+              f"{p['total'] / np.sqrt(n):>14.4f}")
+
+    xs = [p.n for p in points]
+    ys = [p["total"] for p in points]
+    print("\nshape comparison (AIC, best first):",
+          [f.shape for f in compare_shapes(xs, ys)])
+    print("flatness ranking (CV of total/g(n)):",
+          [(s, round(v, 3)) for s, v in shape_by_flatness(xs, ys)])
+    p_exp, _ = fit_power(xs, ys)
+    print(f"power-law exponent: {p_exp:.3f} "
+          "(log^2-like curves sit well below sqrt's 0.5)")
+    print("\nReading: if the total/log^2n column is ~flat while "
+          "total/sqrt(n) declines, the paper's polylog bound holds.")
+
+
+if __name__ == "__main__":
+    main()

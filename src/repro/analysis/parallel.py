@@ -1,0 +1,83 @@
+"""Process-parallel scaling sweeps.
+
+Wide-grid experiments multiply node counts by seeds; the runs are
+embarrassingly parallel (independent scenarios), so this module fans
+them out over a ``ProcessPoolExecutor``.  Results come back in
+deterministic order regardless of completion order, and the output is
+bit-identical to the serial :func:`repro.analysis.scaling.sweep` for the
+same scenario grid (each run is seeded independently).
+
+The worker function is module-level so it pickles under the default
+``fork``/``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.scaling import SweepPoint
+from repro.sim.engine import run_scenario
+from repro.sim.metrics import SimResult
+from repro.sim.scenario import Scenario
+
+__all__ = ["parallel_sweep", "run_one"]
+
+
+def run_one(args: tuple[Scenario, int, int]) -> SimResult:
+    """Worker: run one (scenario, n, seed) combination."""
+    scenario, hop_sample_every, seed = args
+    return run_scenario(
+        replace(scenario, seed=int(seed)), hop_sample_every=hop_sample_every
+    )
+
+
+def parallel_sweep(
+    ns,
+    base: Scenario,
+    metrics: dict[str, Callable[[SimResult], float]],
+    seeds=(0, 1),
+    scenario_for: Callable[[Scenario, int], Scenario] | None = None,
+    hop_sample_every: int = 1000,
+    max_workers: int | None = None,
+) -> list[SweepPoint]:
+    """Parallel counterpart of :func:`repro.analysis.scaling.sweep`.
+
+    Parameters mirror the serial version; ``max_workers`` bounds the
+    process pool (None = CPU count).  Raw results are not retained
+    (they'd be shipped across process boundaries wholesale).
+    """
+    if not metrics:
+        raise ValueError("need at least one metric")
+    seeds = list(seeds)
+    jobs: list[tuple[Scenario, int, int]] = []
+    for n in ns:
+        sc_n = replace(base, n=int(n))
+        if scenario_for is not None:
+            sc_n = scenario_for(sc_n, int(n))
+        for seed in seeds:
+            jobs.append((sc_n, hop_sample_every, seed))
+
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        results = list(pool.map(run_one, jobs))
+
+    points = []
+    per_n = len(seeds)
+    for i, n in enumerate(ns):
+        chunk = results[i * per_n : (i + 1) * per_n]
+        samples = {
+            name: [float(fn(res)) for res in chunk] for name, fn in metrics.items()
+        }
+        points.append(
+            SweepPoint(
+                n=int(n),
+                values={k: float(np.mean(v)) for k, v in samples.items()},
+                stds={k: float(np.std(v)) for k, v in samples.items()},
+                seeds=per_n,
+                results=(),
+            )
+        )
+    return points

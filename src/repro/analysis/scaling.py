@@ -1,0 +1,89 @@
+"""Multi-seed scaling sweeps.
+
+The experiments all share one loop: run the simulator over a grid of
+node counts and seeds, aggregate per-n means and standard deviations of
+some result metric, and fit shapes.  This module owns that loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.engine import run_scenario
+from repro.sim.metrics import SimResult
+from repro.sim.scenario import Scenario
+
+__all__ = ["SweepPoint", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregated results at one node count."""
+
+    n: int
+    values: dict[str, float]
+    stds: dict[str, float]
+    seeds: int
+    results: tuple[SimResult, ...]
+
+    def __getitem__(self, key: str) -> float:
+        return self.values[key]
+
+
+def sweep(
+    ns,
+    base: Scenario,
+    metrics: dict[str, Callable[[SimResult], float]],
+    seeds=(0, 1),
+    scenario_for: Callable[[Scenario, int], Scenario] | None = None,
+    hop_sample_every: int = 1000,
+    keep_results: bool = False,
+) -> list[SweepPoint]:
+    """Run the scenario across node counts and seeds.
+
+    Parameters
+    ----------
+    ns:
+        Node counts to sweep.
+    base:
+        Template scenario; ``n`` and ``seed`` are overridden per run.
+    metrics:
+        Named extractors applied to each :class:`SimResult`.
+    seeds:
+        Seeds averaged at each point.
+    scenario_for:
+        Optional hook ``(scenario, n) -> scenario`` applied after setting
+        ``n`` (e.g. to scale ``max_levels`` with log n).
+    keep_results:
+        Retain the raw SimResults on each point (memory-heavy).
+    """
+    if not metrics:
+        raise ValueError("need at least one metric")
+    points = []
+    for n in ns:
+        sc_n = replace(base, n=int(n))
+        if scenario_for is not None:
+            sc_n = scenario_for(sc_n, int(n))
+        samples: dict[str, list[float]] = {name: [] for name in metrics}
+        kept = []
+        for seed in seeds:
+            res = run_scenario(
+                replace(sc_n, seed=int(seed)), hop_sample_every=hop_sample_every
+            )
+            for name, fn in metrics.items():
+                samples[name].append(float(fn(res)))
+            if keep_results:
+                kept.append(res)
+        points.append(
+            SweepPoint(
+                n=int(n),
+                values={k: float(np.mean(v)) for k, v in samples.items()},
+                stds={k: float(np.std(v)) for k, v in samples.items()},
+                seeds=len(list(seeds)),
+                results=tuple(kept),
+            )
+        )
+    return points

@@ -1,0 +1,118 @@
+"""Closed-form predictions from the paper's equations.
+
+Every Theta(.) claim in Sections 1-5 has a corresponding function here
+(up to the hidden constant, which callers fit from data).  The
+experiments print these beside measured values so paper-vs-measured
+shape comparisons are mechanical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "hop_count_network",
+    "hop_count_level",
+    "migration_distance",
+    "f0_prediction",
+    "f_k_prediction",
+    "phi_k_prediction",
+    "phi_total_prediction",
+    "gamma_k_prediction",
+    "g_prime_k_prediction",
+    "edges_per_node_prediction",
+    "expected_levels",
+    "levels_for",
+]
+
+
+def hop_count_network(n, coeff: float = 1.0) -> np.ndarray:
+    """h = Theta(sqrt(|V|)) — Kleinrock-Silvester [2] (Section 1.2)."""
+    return coeff * np.sqrt(np.asarray(n, dtype=np.float64))
+
+
+def hop_count_level(c_k, coeff: float = 1.0) -> np.ndarray:
+    """h_k = Theta(sqrt(c_k)) — Eq. (3)."""
+    return coeff * np.sqrt(np.asarray(c_k, dtype=np.float64))
+
+
+def migration_distance(r_tx: float, c_k, coeff: float = 1.0) -> np.ndarray:
+    """delta_k = Theta(R_tx * sqrt(c_k)) — Eq. (7): the relative distance
+    a node must cover to leave its level-k cluster."""
+    if r_tx <= 0:
+        raise ValueError("transmission radius must be positive")
+    return coeff * r_tx * np.sqrt(np.asarray(c_k, dtype=np.float64))
+
+
+def f0_prediction(mu: float, r_tx: float, coeff: float = 1.0) -> float:
+    """f_0 = Theta(mu / R_tx) = Theta(1) in |V| — Eq. (4)."""
+    if mu < 0 or r_tx <= 0:
+        raise ValueError("invalid speed or radius")
+    return coeff * mu / r_tx
+
+
+def f_k_prediction(f0: float, h_k, coeff: float = 1.0) -> np.ndarray:
+    """f_k = Theta(f_0 / h_k) — Eqs. (8)-(9)."""
+    h = np.asarray(h_k, dtype=np.float64)
+    if np.any(h <= 0):
+        raise ValueError("hop counts must be positive")
+    return coeff * f0 / h
+
+
+def phi_k_prediction(f_k, h_k, n: int, coeff: float = 1.0) -> np.ndarray:
+    """phi_k = Theta(f_k * h_k * log|V|) — Eq. (6a).
+
+    Under Eq. (9) this collapses to Theta(log|V|) per level.
+    """
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    return coeff * np.asarray(f_k) * np.asarray(h_k) * np.log(n)
+
+
+def phi_total_prediction(n, coeff: float = 1.0) -> np.ndarray:
+    """phi = O(log^2 |V|) — Eq. (6c) with the Section 4 condition met."""
+    v = np.asarray(n, dtype=np.float64)
+    return coeff * np.log(v) ** 2
+
+
+def gamma_k_prediction(g_k, c_k, h_k, n: int, coeff: float = 1.0) -> np.ndarray:
+    """gamma_k = Theta(g_k * c_k * h_k * log|V|) — Eq. (10a)."""
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    return (
+        coeff
+        * np.asarray(g_k)
+        * np.asarray(c_k)
+        * np.asarray(h_k)
+        * np.log(n)
+    )
+
+
+def g_prime_k_prediction(h_k, coeff: float = 1.0) -> np.ndarray:
+    """g'_k = O(1/h_k) — Eq. (14): per-cluster-link change frequency."""
+    h = np.asarray(h_k, dtype=np.float64)
+    if np.any(h <= 0):
+        raise ValueError("hop counts must be positive")
+    return coeff / h
+
+
+def edges_per_node_prediction(d_k, c_k) -> np.ndarray:
+    """|E_k| / |V| = d_k / (2 c_k) — Eq. (13b)."""
+    return np.asarray(d_k, dtype=np.float64) / (2.0 * np.asarray(c_k, dtype=np.float64))
+
+
+def expected_levels(n: int, alpha: float) -> float:
+    """L = log |V| / log alpha for constant arity alpha (Eq. 2b)."""
+    if n < 2 or alpha <= 1:
+        raise ValueError("need n >= 2 and alpha > 1")
+    return float(np.log(n) / np.log(alpha))
+
+
+def levels_for(n: int, alpha: float = 6.0, minimum: int = 2) -> int:
+    """Integer hierarchy depth used by the experiment sweeps:
+    L(n) = max(minimum, round(log n / log alpha)).
+
+    This realizes the paper's "desired number of cluster levels"
+    (Section 2.1) with L = Theta(log |V|).
+    """
+    return max(minimum, round(expected_levels(n, alpha)))

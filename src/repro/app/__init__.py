@@ -1,0 +1,5 @@
+"""Application layer: end-to-end messaging on the full LM + routing stack."""
+
+from repro.app.messaging import MessagingService, SessionResult
+
+__all__ = ["MessagingService", "SessionResult"]

@@ -1,0 +1,242 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list
+    python -m repro experiment EXP-T4 [--full] [--seeds 0,1]
+    python -m repro simulate --n 300 --steps 60 --speed 1.5 [--trace]
+    python -m repro hierarchy --n 120 [--seed 7]
+    python -m repro info
+
+Everything the CLI prints comes from the same public API the examples
+use; the CLI adds no behavior of its own.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Sucec & Marsic (IPPS 2002): "
+                    "hierarchical MANET LM handoff overhead.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("info", help="show version and component inventory")
+
+    p_exp = sub.add_parser("experiment", help="run one experiment")
+    p_exp.add_argument("exp_id", help="experiment id, e.g. EXP-T4")
+    p_exp.add_argument("--full", action="store_true",
+                       help="wide grid (slow) instead of the quick grid")
+    p_exp.add_argument("--seeds", default="0,1",
+                       help="comma-separated seeds (default 0,1)")
+
+    p_sim = sub.add_parser("simulate", help="run one scenario and print metrics")
+    p_sim.add_argument("--preset", default=None,
+                       help="start from a named preset (see repro.sim.PRESETS)")
+    p_sim.add_argument("--n", type=int, default=200)
+    p_sim.add_argument("--steps", type=int, default=50)
+    p_sim.add_argument("--warmup", type=int, default=10)
+    p_sim.add_argument("--speed", type=float, default=1.0)
+    p_sim.add_argument("--dt", type=float, default=1.0)
+    p_sim.add_argument("--density", type=float, default=0.02)
+    p_sim.add_argument("--degree", type=float, default=9.0)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--levels", type=int, default=None,
+                       help="hierarchy depth cap (default: log-scaled)")
+    p_sim.add_argument("--mobility", default="random_waypoint",
+                       choices=["random_waypoint", "random_direction",
+                                "group", "stationary", "gauss_markov"])
+    p_sim.add_argument("--election", default="memoryless",
+                       choices=["memoryless", "sticky", "persistent"])
+    p_sim.add_argument("--hops", default="auto",
+                       choices=["auto", "bfs", "euclidean"])
+    p_sim.add_argument("--trace", action="store_true",
+                       help="print the tail of the event trace")
+
+    p_rep = sub.add_parser("report", help="run experiments, emit a markdown report")
+    p_rep.add_argument("--out", default=None, help="write the report to this file")
+    p_rep.add_argument("--experiments", default=None,
+                       help="comma-separated experiment ids (default: all)")
+    p_rep.add_argument("--full", action="store_true", help="wide grids")
+    p_rep.add_argument("--seeds", default="0,1")
+
+    p_h = sub.add_parser("hierarchy", help="build and render a hierarchy")
+    p_h.add_argument("--n", type=int, default=100)
+    p_h.add_argument("--seed", type=int, default=7)
+    p_h.add_argument("--density", type=float, default=0.02)
+    p_h.add_argument("--degree", type=float, default=9.0)
+    p_h.add_argument("--tree", action="store_true",
+                     help="print the full cluster tree, not just the summary")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    titles = {
+        "EXP-F1": "Fig. 1 — example clustered hierarchy",
+        "EXP-F2": "Fig. 2 — GLS grid hierarchy",
+        "EXP-F3": "Fig. 3 — ALCA states + q1 (the paper's future work)",
+        "EXP-T1": "Eq. 4 — f0 = Theta(1)",
+        "EXP-T2": "Eq. 3 — hop-count scaling",
+        "EXP-T3": "Eqs. 7-9 — f_k = Theta(1/h_k)",
+        "EXP-T4": "Sec. 4 — phi = O(log^2 n)  [headline]",
+        "EXP-T5": "Sec. 5 — gamma = O(log^2 n) + event taxonomy",
+        "EXP-T6": "Eqs. 13-14 — cluster-link structure",
+        "EXP-T7": "Sec. 3.2 — hash load equitability",
+        "EXP-T8": "GLS vs CHLM overhead",
+        "EXP-T9": "Sec. 2.1 — routing state",
+        "EXP-T10": "Sec. 6 — overhead budget",
+        "EXP-A1": "ablation — memoryless vs sticky elections",
+        "EXP-A2": "ablation — radio vs contraction level links",
+        "EXP-A3": "extension — handoff under node failure",
+        "EXP-A4": "extension — address-component lifetimes / staleness",
+        "EXP-A5": "extension — persistent cluster IDs recover gamma",
+        "EXP-A6": "extension — query correctness under lag",
+        "EXP-A7": "extension — routing state vs stretch tradeoff",
+        "EXP-A8": "extension — degree sensitivity (magic number)",
+        "EXP-A9": "extension — end-to-end sessions on the full stack",
+    }
+    for eid in ALL_EXPERIMENTS:
+        print(f"{eid:8s} {titles.get(eid, '')}")
+    return 0
+
+
+def _cmd_info() -> int:
+    import repro
+
+    print(f"repro {repro.__version__}")
+    print(__doc__.strip().splitlines()[0])
+    for pkg in repro.__all__:
+        print(f"  repro.{pkg}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    fn = ALL_EXPERIMENTS.get(args.exp_id.upper())
+    if fn is None:
+        print(f"unknown experiment {args.exp_id!r}; try 'repro list'",
+              file=sys.stderr)
+        return 2
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s != "")
+    kwargs = {"quick": not args.full}
+    if seeds:
+        kwargs["seeds"] = seeds
+    try:
+        result = fn(**kwargs)
+    except TypeError:
+        # Figure experiments take no seeds argument.
+        result = fn(quick=not args.full)
+    print(result.to_text())
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.analysis import levels_for
+    from repro.sim import Scenario, Simulator
+
+    levels = args.levels if args.levels is not None else levels_for(args.n)
+    kwargs = dict(
+        n=args.n, steps=args.steps, warmup=args.warmup, speed=args.speed,
+        dt=args.dt, density=args.density, target_degree=args.degree,
+        seed=args.seed, max_levels=levels, mobility=args.mobility,
+        election_mode=args.election, hop_mode=args.hops,
+    )
+    if args.preset:
+        from repro.sim import make_scenario
+
+        # Preset supplies the regime; sizing/run-control flags override.
+        for key in ("speed", "dt", "density", "mobility"):
+            kwargs.pop(key, None)
+        sc = make_scenario(args.preset, **kwargs)
+    else:
+        sc = Scenario(**kwargs)
+    sim = Simulator(sc, trace=args.trace)
+    res = sim.run()
+    print(f"n={sc.n}  L<={levels}  mu={sc.speed} m/s  "
+          f"{sc.duration:.0f} s metered  (seed {sc.seed})")
+    print(f"  f_0          = {res.f0:.3f} link events/node/s")
+    print(f"  phi          = {res.phi:.4f} pkts/node/s")
+    print(f"  gamma        = {res.gamma:.4f} pkts/node/s")
+    print(f"  handoff      = {res.handoff_rate:.4f} pkts/node/s "
+          f"(log^2 n = {np.log(sc.n) ** 2:.1f})")
+    print(f"  registration = {res.ledger.registration_rate:.4f} pkts/node/s")
+    print(f"  phi_k   = {res.ledger.phi_k()}")
+    print(f"  gamma_k = {res.ledger.gamma_k()}")
+    print(f"  f_k     = {res.ledger.f_k()}")
+    if args.trace and res.trace is not None:
+        print("\nevent trace (last 20):")
+        for line in res.trace.to_lines(limit=20):
+            print(" ", line)
+        print(f"  summary: {res.trace.summary()}")
+    return 0
+
+
+def _cmd_hierarchy(args) -> int:
+    from repro.geometry import disc_for_density
+    from repro.hierarchy import build_hierarchy, render_hierarchy, render_summary
+    from repro.radio import radius_for_degree, unit_disk_edges
+
+    region = disc_for_density(args.n, args.density)
+    rng = np.random.default_rng(args.seed)
+    pts = region.sample(args.n, rng)
+    r_tx = radius_for_degree(args.degree, args.density)
+    edges = unit_disk_edges(pts, r_tx)
+    h = build_hierarchy(np.arange(args.n), edges, level_mode="radio",
+                        positions=pts, r0=r_tx)
+    print(render_summary(h))
+    if args.tree:
+        print()
+        print(render_hierarchy(h))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis import generate_report
+
+    exp_ids = None
+    if args.experiments:
+        exp_ids = [e.strip().upper() for e in args.experiments.split(",") if e.strip()]
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s != "")
+    text = generate_report(exp_ids=exp_ids, quick=not args.full,
+                           seeds=seeds, out_path=args.out)
+    if args.out:
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "hierarchy":
+        return _cmd_hierarchy(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""Cluster-structure metrics used throughout the analysis.
+
+These implement the bookkeeping identities of Section 1.1: arity
+alpha_k = |V_{k-1}| / |V_k| (Eq. 1b), aggregation factor
+c_k = prod alpha_j (Eq. 2a), and mean level degree d_k (Eq. 1a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ClusterSizeStats", "cluster_size_stats", "arity", "aggregation_factors"]
+
+
+@dataclass(frozen=True)
+class ClusterSizeStats:
+    """Summary of a cluster partition at one level."""
+
+    n_nodes: int
+    n_clusters: int
+    mean_size: float
+    max_size: int
+    min_size: int
+    std_size: float
+
+    @property
+    def arity(self) -> float:
+        """alpha at this level: nodes per cluster on average."""
+        return self.mean_size
+
+
+def cluster_size_stats(clusters: dict[int, np.ndarray]) -> ClusterSizeStats:
+    """Compute size statistics of a ``{head: members}`` partition."""
+    if not clusters:
+        raise ValueError("empty partition")
+    sizes = np.array([len(m) for m in clusters.values()], dtype=np.int64)
+    return ClusterSizeStats(
+        n_nodes=int(sizes.sum()),
+        n_clusters=int(sizes.size),
+        mean_size=float(sizes.mean()),
+        max_size=int(sizes.max()),
+        min_size=int(sizes.min()),
+        std_size=float(sizes.std()),
+    )
+
+
+def arity(n_prev: int, n_cur: int) -> float:
+    """alpha_k = |V_{k-1}| / |V_k| (Eq. 1b)."""
+    if n_prev <= 0 or n_cur <= 0:
+        raise ValueError("level sizes must be positive")
+    return n_prev / n_cur
+
+
+def aggregation_factors(level_sizes) -> np.ndarray:
+    """c_k = |V| / |V_k| for k = 0..L given the per-level node counts.
+
+    ``level_sizes[0]`` must be |V|; returns an array with c_0 = 1.
+    Equivalent to the running product of arities (Eq. 2a/2b).
+    """
+    sizes = np.asarray(list(level_sizes), dtype=np.float64)
+    if sizes.size == 0 or np.any(sizes <= 0):
+        raise ValueError("level sizes must be positive and non-empty")
+    if np.any(np.diff(sizes) > 0):
+        raise ValueError("level sizes must be non-increasing")
+    return sizes[0] / sizes

@@ -1,0 +1,188 @@
+"""ALCA cluster state machine (Fig. 3) and its statistics.
+
+The ALCA state of a level-k node is the number of its level-k neighbors
+that currently elect it as clusterhead.  Fig. 3 of the paper models this
+as a birth-death chain where, in continuous time, only adjacent-state
+transitions occur; states 0 and 1 are *critical* — clusterhead status can
+only change while crossing the 0 <-> 1 boundary.
+
+:class:`StateTracker` consumes one :class:`~repro.clustering.lca.Election`
+per simulation step (for a fixed level) and accumulates:
+
+* state occupancy histogram (time-weighted),
+* transition magnitude histogram — the empirical check that, as dt -> 0,
+  transitions concentrate on |delta| <= 1,
+* the paper's p_j estimate (Eq. 18 context): probability that a level-j
+  node is in state exactly 1,
+* per-node state time series (optional, for detailed inspection).
+
+Section 5.3.2 leaves "actual quantification of q_1 via simulation" as
+future work; :func:`recursion_quantities` computes q_j, Q, P and the
+q_1/Q lower bound of Eqs. (15)-(21) from measured p_j vectors, and the
+EXP-F3 experiment drives it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.clustering.lca import Election
+
+__all__ = ["StateTracker", "StateStats", "recursion_quantities", "RecursionQuantities"]
+
+
+@dataclass(frozen=True)
+class StateStats:
+    """Aggregated ALCA state statistics for one hierarchy level."""
+
+    occupancy: dict[int, float]
+    """Fraction of node-steps spent in each state."""
+
+    transition_histogram: dict[int, int]
+    """Counts of per-step state changes keyed by |delta|."""
+
+    p_state1: float
+    """Empirical p_j: fraction of node-steps in state exactly 1."""
+
+    p_state1_heads: float
+    """p restricted to elected (state >= 1) nodes."""
+
+    adjacent_fraction: float
+    """Fraction of non-zero transitions with |delta| == 1."""
+
+    critical_crossings: int
+    """Number of 0 <-> 1 boundary crossings (status changes)."""
+
+    samples: int
+    """Total node-step samples."""
+
+
+@dataclass
+class StateTracker:
+    """Accumulates ALCA state statistics across election snapshots.
+
+    The tracker is robust to node churn at the observed level: only nodes
+    present in *both* consecutive elections contribute transitions, while
+    occupancy counts every present node.
+    """
+
+    record_series: bool = False
+    _occ: dict[int, int] = field(default_factory=dict)
+    _trans: dict[int, int] = field(default_factory=dict)
+    _heads_state1: int = 0
+    _heads_total: int = 0
+    _critical: int = 0
+    _samples: int = 0
+    _prev: Election | None = None
+    series: list[dict[int, int]] = field(default_factory=list)
+
+    def observe(self, election: Election) -> None:
+        """Record one election snapshot for this level."""
+        states = election.elector_count
+        vals, counts = np.unique(states, return_counts=True)
+        for v, c in zip(vals.tolist(), counts.tolist()):
+            self._occ[v] = self._occ.get(v, 0) + c
+        self._samples += int(states.size)
+        elected_mask = states >= 1
+        self._heads_total += int(elected_mask.sum())
+        self._heads_state1 += int((states == 1).sum())
+
+        if self._prev is not None:
+            common, ia, ib = np.intersect1d(
+                self._prev.node_ids, election.node_ids, return_indices=True
+            )
+            if common.size:
+                before = self._prev.elector_count[ia]
+                after = election.elector_count[ib]
+                delta = np.abs(after - before)
+                vals, counts = np.unique(delta, return_counts=True)
+                for v, c in zip(vals.tolist(), counts.tolist()):
+                    self._trans[v] = self._trans.get(v, 0) + c
+                crossing = ((before == 0) & (after >= 1)) | (
+                    (before >= 1) & (after == 0)
+                )
+                self._critical += int(crossing.sum())
+        self._prev = election
+        if self.record_series:
+            vals, counts = np.unique(states, return_counts=True)
+            self.series.append(dict(zip(vals.tolist(), counts.tolist())))
+
+    def stats(self) -> StateStats:
+        """Finalize the aggregate statistics."""
+        if self._samples == 0:
+            raise ValueError("no observations recorded")
+        occupancy = {s: c / self._samples for s, c in sorted(self._occ.items())}
+        nonzero = {d: c for d, c in self._trans.items() if d != 0}
+        total_moves = sum(nonzero.values())
+        adjacent = nonzero.get(1, 0) / total_moves if total_moves else 1.0
+        return StateStats(
+            occupancy=occupancy,
+            transition_histogram=dict(sorted(self._trans.items())),
+            p_state1=self._occ.get(1, 0) / self._samples,
+            p_state1_heads=(
+                self._heads_state1 / self._heads_total if self._heads_total else 0.0
+            ),
+            adjacent_fraction=adjacent,
+            critical_crossings=self._critical,
+            samples=self._samples,
+        )
+
+
+@dataclass(frozen=True)
+class RecursionQuantities:
+    """Eqs. (15)-(21): recursive-rejection chain quantities at level k."""
+
+    k: int
+    p: float  # Eq. (18): max over p_1..p_{k-1}
+    q: np.ndarray  # Eq. (15a): q_j for j = 1..k-1
+    Q: float  # Eq. (15b)
+    P: float  # Eq. (21a): p^2 + q_1 (upper bound on Q)
+    q1_over_Q: float
+    q1_over_Q_lower_bound: float  # Eq. (21b): q_1 / (p^2 + q_1)
+
+
+def recursion_quantities(p_levels, k: int) -> RecursionQuantities:
+    """Evaluate the recursive-rejection bound chain for level ``k``.
+
+    Parameters
+    ----------
+    p_levels:
+        Sequence where ``p_levels[j]`` is the measured p_j (probability
+        that a level-j node is in ALCA state 1) for j = 0..k-1 at least.
+        Note Eq. (15a) consumes ``p_{k-1}, ..., p_1``.
+    k:
+        Hierarchy level under analysis; must be >= 2 so the recursion has
+        at least one stage.
+    """
+    p_arr = np.asarray(p_levels, dtype=np.float64)
+    if k < 2:
+        raise ValueError("recursion analysis requires k >= 2")
+    if p_arr.size < k:
+        raise ValueError(f"need p_j for j=0..{k - 1}, got {p_arr.size} values")
+    if np.any((p_arr < 0) | (p_arr > 1)):
+        raise ValueError("probabilities must lie in [0, 1]")
+
+    # Eq. (15a): q_j = (1 - p_{k-j-1}) * prod_{i=1..j} p_{k-i} for j < k-1,
+    # and q_{k-1} = prod_{i=1..k-1} p_{k-i}.
+    q = np.empty(k - 1, dtype=np.float64)
+    for j in range(1, k):
+        prod = float(np.prod(p_arr[[k - i for i in range(1, j + 1)]]))
+        if j <= k - 2:
+            q[j - 1] = (1.0 - p_arr[k - j - 1]) * prod
+        else:
+            q[j - 1] = prod
+    Q = float(q.sum())
+    p = float(p_arr[1:k].max()) if k >= 2 else 0.0  # Eq. (18): p_1..p_{k-1}
+    q1 = float(q[0])
+    P = p**2 + q1  # Eq. (21a)
+    return RecursionQuantities(
+        k=k,
+        p=p,
+        q=q,
+        Q=Q,
+        P=P,
+        q1_over_Q=(q1 / Q) if Q > 0 else 1.0,
+        q1_over_Q_lower_bound=(q1 / P) if P > 0 else 1.0,
+    )

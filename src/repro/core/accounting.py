@@ -1,0 +1,109 @@
+"""Overhead ledger: accumulates handoff reports into the paper's
+normalized quantities phi_k, gamma_k, phi, gamma (packets per node per
+second).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import EventKind
+from repro.core.handoff import HandoffReport
+
+__all__ = ["OverheadLedger"]
+
+
+def _acc(target: dict, source: dict) -> None:
+    for k, v in source.items():
+        target[k] = target.get(k, 0) + v
+
+
+@dataclass
+class OverheadLedger:
+    """Running totals over a simulation run.
+
+    Parameters
+    ----------
+    n_nodes:
+        Population size |V| (for per-node normalization).
+    """
+
+    n_nodes: int
+    elapsed: float = 0.0
+    steps: int = 0
+    migration_packets: dict[int, int] = field(default_factory=dict)
+    migration_entries: dict[int, int] = field(default_factory=dict)
+    reorg_packets: dict[int, int] = field(default_factory=dict)
+    reorg_entries: dict[int, int] = field(default_factory=dict)
+    registration_packets: dict[int, int] = field(default_factory=dict)
+    registration_events: int = 0
+    migration_events: dict[int, int] = field(default_factory=dict)
+    reorg_event_counts: dict[tuple[EventKind, int], int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.n_nodes <= 0:
+            raise ValueError("node count must be positive")
+
+    def record(self, report: HandoffReport, dt: float) -> None:
+        """Fold one step's report into the totals."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.elapsed += dt
+        self.steps += 1
+        _acc(self.migration_packets, report.migration_packets)
+        _acc(self.migration_entries, report.migration_entries)
+        _acc(self.reorg_packets, report.reorg_packets)
+        _acc(self.reorg_entries, report.reorg_entries)
+        _acc(self.registration_packets, report.registration_packets)
+        self.registration_events += report.registration_events
+        _acc(self.migration_events, report.migration_events)
+        _acc(self.reorg_event_counts, report.reorg_event_counts)
+
+    # -- normalized quantities -------------------------------------------------
+
+    def _rate(self, total: float) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return total / (self.n_nodes * self.elapsed)
+
+    def phi_k(self) -> dict[int, float]:
+        """Per-level migration handoff packets per node per second."""
+        return {k: self._rate(v) for k, v in sorted(self.migration_packets.items())}
+
+    def gamma_k(self) -> dict[int, float]:
+        """Per-level reorganization handoff packets per node per second."""
+        return {k: self._rate(v) for k, v in sorted(self.reorg_packets.items())}
+
+    @property
+    def phi(self) -> float:
+        """Total migration handoff rate — Eq. (6c)."""
+        return self._rate(sum(self.migration_packets.values()))
+
+    @property
+    def gamma(self) -> float:
+        """Total reorganization handoff rate — Eq. (11)."""
+        return self._rate(sum(self.reorg_packets.values()))
+
+    @property
+    def handoff_rate(self) -> float:
+        """phi + gamma: the paper's headline Theta(log^2 |V|) quantity."""
+        return self.phi + self.gamma
+
+    @property
+    def registration_rate(self) -> float:
+        """Registration packets per node per second (the Theta(log|V|)
+        component of [17], metered for EXP-T10)."""
+        return self._rate(sum(self.registration_packets.values()))
+
+    def f_k(self) -> dict[int, float]:
+        """Measured level-k migration event frequency per node per second
+        (Eq. 8's f_k)."""
+        return {k: self._rate(v) for k, v in sorted(self.migration_events.items())}
+
+    def reorg_event_rates(self) -> dict[tuple[EventKind, int], float]:
+        """Per (kind, level) reorganization event rates."""
+        return {
+            key: self._rate(v) for key, v in sorted(
+                self.reorg_event_counts.items(), key=lambda kv: (kv[0][1], kv[0][0].value)
+            )
+        }

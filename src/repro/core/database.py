@@ -1,0 +1,64 @@
+"""Distributed LM database view.
+
+Materializes, from a hierarchy and its server assignment, the per-server
+tables the CHLM protocol maintains: each level-k server of a subject
+stores the subject's hierarchical address (the routable name strict
+hierarchical routing needs).  The view exists for queries, invariants
+("each node serves Theta(log|V|) entries"), and the examples; the
+handoff engine itself diffs assignments directly for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.servers import ServerAssignment
+from repro.hierarchy.levels import ClusteredHierarchy
+
+__all__ = ["LocationRecord", "LMDatabase"]
+
+
+@dataclass(frozen=True)
+class LocationRecord:
+    """One stored entry: the subject's hierarchical address at a level."""
+
+    subject: int
+    level: int
+    address: tuple[int, ...]
+
+
+class LMDatabase:
+    """Materialized per-server LM tables."""
+
+    def __init__(self, h: ClusteredHierarchy, assignment: ServerAssignment):
+        self.hierarchy = h
+        self.assignment = assignment
+        self._tables: dict[int, dict[tuple[int, int], LocationRecord]] = {}
+        for (subject, level), server in assignment.servers.items():
+            rec = LocationRecord(
+                subject=subject, level=level, address=h.address(subject)
+            )
+            self._tables.setdefault(server, {})[(subject, level)] = rec
+
+    def table_of(self, server: int) -> dict[tuple[int, int], LocationRecord]:
+        """Entries stored at ``server`` (empty dict if none)."""
+        return self._tables.get(server, {})
+
+    def lookup(self, server: int, subject: int) -> LocationRecord | None:
+        """Highest-level record for ``subject`` held at ``server``."""
+        best = None
+        for (subj, level), rec in self._tables.get(server, {}).items():
+            if subj == subject and (best is None or level > best.level):
+                best = rec
+        return best
+
+    def entries_per_node(self) -> np.ndarray:
+        """Table size for every physical node (zeros included)."""
+        ids = self.hierarchy.levels[0].node_ids
+        return np.array([len(self._tables.get(int(v), {})) for v in ids])
+
+    @property
+    def total_entries(self) -> int:
+        return sum(len(t) for t in self._tables.values())

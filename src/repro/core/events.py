@@ -1,0 +1,252 @@
+"""Handoff trigger events — the taxonomy of Sections 4 and 5.2.
+
+Comparing two consecutive hierarchy snapshots yields:
+
+* **Node migration** (Section 4): a physical node's level-k cluster
+  changed while both old and new clusters persist — the level-k topology
+  stayed intact, only membership moved.
+
+* **Cluster reorganization** (Section 5.2, events i-vii):
+
+  =====  =========================================================
+  kind   trigger
+  =====  =========================================================
+  i      level-k link formed between clusters (one a level-(k+1) node)
+  ii     level-k link broken between clusters (one a level-(k+1) node)
+  iii    v promoted to level k by a *migrating* elector
+  iv     v demoted from level k by a *migrating* elector
+  v      v promoted to level k by a *newly elected* elector (recursive)
+  vi     v demoted from level k because its elector was demoted
+         (recursive — the "domino" chain of Section 5.2)
+  vii    a level-k neighbor of v was elected level-(k+1) clusterhead
+  =====  =========================================================
+
+The detector classifies iii vs v (and iv vs vi) by checking whether the
+responsible elector itself entered (resp. left) the level-(k-1) node set
+in the same step, which is exactly the recursion the paper's Eq. (15)
+chain quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.hierarchy.levels import ClusteredHierarchy
+
+__all__ = [
+    "EventKind",
+    "MigrationEvent",
+    "ReorgEvent",
+    "HierarchyDiff",
+    "diff_hierarchies",
+]
+
+
+class EventKind(Enum):
+    """Reorganization event types (i)-(vii) plus pure migration."""
+
+    MIGRATION = "migration"
+    LINK_UP = "i"
+    LINK_DOWN = "ii"
+    ELECT_MIGRATION = "iii"
+    REJECT_MIGRATION = "iv"
+    ELECT_RECURSIVE = "v"
+    REJECT_RECURSIVE = "vi"
+    NEIGHBOR_ELECTED = "vii"
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """A node's level-k cluster changed between snapshots."""
+
+    node: int
+    level: int
+    old_cluster: int
+    new_cluster: int
+    pure: bool
+    """True when this is Section 4's *node migration*: both clusters
+    exist in both snapshots ("the level-k topology remains intact") AND
+    the change originates from the node's own re-affiliation (its level-1
+    cluster changed).  When a whole level-(k-1) cluster re-affiliates,
+    every member's level-k ancestry flips at once — the paper counts that
+    as ONE cluster-migration reorganization event (kinds i/ii), so those
+    per-node flips are impure here and their handoff cost lands in gamma.
+    """
+    origin_level: int = 1
+    """Lowest level at which the node's ancestry changed — 1 for an
+    individual move, > 1 when an ancestor cluster re-affiliated."""
+
+
+@dataclass(frozen=True)
+class ReorgEvent:
+    """A cluster reorganization event of kind (i)-(vii) at ``level``."""
+
+    kind: EventKind
+    level: int
+    subject: int
+    """The cluster/node the event is about (v_k in the paper)."""
+    other: int | None = None
+    """The counterpart (u_k: link peer, elector, or new head)."""
+
+
+@dataclass
+class HierarchyDiff:
+    """All events between two hierarchy snapshots."""
+
+    migrations: list[MigrationEvent] = field(default_factory=list)
+    reorgs: list[ReorgEvent] = field(default_factory=list)
+
+    def migration_counts(self) -> dict[int, int]:
+        """Pure migration events per level (f_k numerators)."""
+        counts: dict[int, int] = {}
+        for ev in self.migrations:
+            if ev.pure:
+                counts[ev.level] = counts.get(ev.level, 0) + 1
+        return counts
+
+    def reorg_counts(self) -> dict[tuple[EventKind, int], int]:
+        """Reorg events per (kind, level)."""
+        counts: dict[tuple[EventKind, int], int] = {}
+        for ev in self.reorgs:
+            key = (ev.kind, ev.level)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+def _edge_set(edges: np.ndarray) -> set[tuple[int, int]]:
+    return {tuple(e) for e in np.asarray(edges, dtype=np.int64).tolist()}
+
+
+def _electors_of(h: ClusteredHierarchy, level: int, head: int) -> list[int]:
+    """Level-(level-1) nodes whose *raw* election points at ``head``."""
+    election = h.levels[level - 1].election
+    if election is None:
+        return []
+    mask = election.elected_head == head
+    return election.node_ids[mask].tolist()
+
+
+def diff_hierarchies(h0: ClusteredHierarchy, h1: ClusteredHierarchy) -> HierarchyDiff:
+    """Detect all migration and reorganization events from h0 to h1.
+
+    Both snapshots must cover the same physical node set.
+    """
+    if not np.array_equal(h0.levels[0].node_ids, h1.levels[0].node_ids):
+        raise ValueError("snapshots cover different node sets")
+    diff = HierarchyDiff()
+    max_l = max(h0.num_levels, h1.num_levels)
+
+    v_sets0 = [set(lvl.node_ids.tolist()) for lvl in h0.levels]
+    v_sets1 = [set(lvl.node_ids.tolist()) for lvl in h1.levels]
+
+    def v0(k: int) -> set[int]:
+        return v_sets0[k] if k < len(v_sets0) else set()
+
+    def v1(k: int) -> set[int]:
+        return v_sets1[k] if k < len(v_sets1) else set()
+
+    # --- node migration (per level) -------------------------------------------
+    # Origin level per node: the lowest level where its ancestry changed.
+    min_l = min(h0.num_levels, h1.num_levels)
+    origin = np.zeros(h0.n, dtype=np.int64)
+    for k in range(min_l, 0, -1):
+        origin[h0.ancestry(k) != h1.ancestry(k)] = k
+
+    for k in range(1, max_l + 1):
+        if k > h0.num_levels or k > h1.num_levels:
+            continue
+        a0 = h0.ancestry(k)
+        a1 = h1.ancestry(k)
+        moved = np.flatnonzero(a0 != a1)
+        for i in moved.tolist():
+            node = int(h0.levels[0].node_ids[i])
+            old_c = int(a0[i])
+            new_c = int(a1[i])
+            org = int(origin[i])
+            pure = (
+                org == 1
+                and old_c in v0(k)
+                and old_c in v1(k)
+                and new_c in v0(k)
+                and new_c in v1(k)
+            )
+            diff.migrations.append(
+                MigrationEvent(node=node, level=k, old_cluster=old_c,
+                               new_cluster=new_c, pure=pure, origin_level=org)
+            )
+
+    # --- cluster link events (i)/(ii) -----------------------------------------
+    for k in range(1, max_l + 1):
+        e0 = _edge_set(h0.levels[k].edges) if k <= h0.num_levels else set()
+        e1 = _edge_set(h1.levels[k].edges) if k <= h1.num_levels else set()
+        up1 = v1(k + 1)
+        up0 = v0(k + 1)
+        for u, v in sorted(e1 - e0):
+            if u in up1 or v in up1:
+                subject, other = (v, u) if v in up1 else (u, v)
+                diff.reorgs.append(
+                    ReorgEvent(kind=EventKind.LINK_UP, level=k, subject=subject, other=other)
+                )
+        for u, v in sorted(e0 - e1):
+            if u in up0 or v in up0:
+                subject, other = (v, u) if v in up0 else (u, v)
+                diff.reorgs.append(
+                    ReorgEvent(kind=EventKind.LINK_DOWN, level=k, subject=subject, other=other)
+                )
+
+    # --- elections / rejections (iii)-(vi) --------------------------------------
+    for k in range(1, max_l + 1):
+        elected = sorted(v1(k) - v0(k))
+        rejected = sorted(v0(k) - v1(k))
+        for v in elected:
+            electors_now = set(_electors_of(h1, k, v)) - {v}
+            new_electors = electors_now - v0(k - 1) if k >= 1 else set()
+            recursive = bool(new_electors & v1(k - 1)) and k >= 2
+            diff.reorgs.append(
+                ReorgEvent(
+                    kind=EventKind.ELECT_RECURSIVE if recursive else EventKind.ELECT_MIGRATION,
+                    level=k,
+                    subject=int(v),
+                    other=int(min(new_electors)) if recursive else (
+                        int(min(electors_now)) if electors_now else None
+                    ),
+                )
+            )
+        for v in rejected:
+            electors_before = set(_electors_of(h0, k, v)) - {v}
+            gone_electors = electors_before - v1(k - 1) if k >= 1 else set()
+            recursive = bool(gone_electors & v0(k - 1)) and k >= 2
+            diff.reorgs.append(
+                ReorgEvent(
+                    kind=EventKind.REJECT_RECURSIVE if recursive else EventKind.REJECT_MIGRATION,
+                    level=k,
+                    subject=int(v),
+                    other=int(min(gone_electors)) if recursive else (
+                        int(min(electors_before)) if electors_before else None
+                    ),
+                )
+            )
+
+    # --- neighbor elected to level k+1 (vii) --------------------------------------
+    for k in range(1, max_l + 1):
+        newly_up = v1(k + 1) - v0(k + 1)
+        if not newly_up or k > h1.num_levels:
+            continue
+        lvl = h1.levels[k]
+        e1 = lvl.edges
+        if e1.size == 0:
+            continue
+        for u, v in e1.tolist():
+            if u in newly_up and v not in newly_up:
+                diff.reorgs.append(
+                    ReorgEvent(kind=EventKind.NEIGHBOR_ELECTED, level=k, subject=v, other=u)
+                )
+            elif v in newly_up and u not in newly_up:
+                diff.reorgs.append(
+                    ReorgEvent(kind=EventKind.NEIGHBOR_ELECTED, level=k, subject=u, other=v)
+                )
+
+    return diff

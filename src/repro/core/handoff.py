@@ -1,0 +1,223 @@
+"""LM handoff engine — the paper's central quantity, measured.
+
+The engine holds the previous hierarchy snapshot and its CHLM server
+assignment.  Each step it recomputes both, and **every (subject, level)
+entry whose responsible server changed is a handoff transfer**, charged
+as the hop count between outgoing and incoming server.  This is the
+operational meaning of the paper's handoff overhead:
+
+* the entries a migrating node served move to new servers inside the
+  cluster it left ("transfer Theta(log|V|) LM entries to the appropriate
+  members of its previous level-k cluster"),
+* entries newly hashed onto it move in ("acquire Theta(log|V|) entries
+  from its new cluster"),
+* and a reorganizing level-k cluster redistributes the entries of all
+  Theta(c_k) affected nodes with its level-(k+1) cluster.
+
+Cause classification (phi vs gamma, Sections 4 and 5):
+
+1. If the *subject*'s level-j cluster changed at a level j <= the entry
+   level, the handoff is attributed to the subject's move — MIGRATION
+   when the move was pure (both clusters persisted, "topology intact"),
+   REORG otherwise.
+2. Else if the *outgoing server* migrated (its own cluster chain
+   changed), the handoff is the Section-4 server-side transfer —
+   MIGRATION when pure, REORG otherwise.
+3. Else the assignment changed because the cluster tree itself was
+   restructured (elections, rejections, cluster link changes) — REORG.
+
+Registration traffic (the subject refreshing its *address* at servers
+whose identity did not change) is metered separately — the paper cites
+[17] for its Theta(log|V|) bound, and EXP-T10 compares the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.events import EventKind, HierarchyDiff, diff_hierarchies
+from repro.core.servers import ServerAssignment, full_assignment
+from repro.hierarchy.levels import ClusteredHierarchy
+
+__all__ = ["HandoffReport", "HandoffEngine"]
+
+HopFn = Callable[[int, int], int]
+
+
+@dataclass(frozen=True)
+class HandoffReport:
+    """Packet accounting for one step.
+
+    All ``dict[int, int]`` maps are keyed by hierarchy level.
+    """
+
+    migration_packets: dict[int, int]
+    migration_entries: dict[int, int]
+    reorg_packets: dict[int, int]
+    reorg_entries: dict[int, int]
+    registration_packets: dict[int, int]
+    registration_events: int
+    migration_events: dict[int, int]
+    """Pure level-k node migration event counts (the f_k numerator)."""
+    reorg_event_counts: dict[tuple[EventKind, int], int]
+    """Raw reorganization events (i)-(vii) by (kind, level)."""
+    diff: HierarchyDiff
+
+    @property
+    def phi_packets(self) -> int:
+        """Total migration-handoff packets this step (phi numerator)."""
+        return sum(self.migration_packets.values())
+
+    @property
+    def gamma_packets(self) -> int:
+        """Total reorganization-handoff packets this step (gamma)."""
+        return sum(self.reorg_packets.values())
+
+    @property
+    def total_handoff_packets(self) -> int:
+        return self.phi_packets + self.gamma_packets
+
+
+def _lowest_changed_levels(h0: ClusteredHierarchy, h1: ClusteredHierarchy) -> np.ndarray:
+    """Per base node: lowest level where its cluster chain differs
+    (0 = unchanged through the comparable levels)."""
+    n = h0.n
+    min_l = min(h0.num_levels, h1.num_levels)
+    lcl = np.zeros(n, dtype=np.int64)
+    for k in range(min_l, 0, -1):
+        changed = h0.ancestry(k) != h1.ancestry(k)
+        lcl[changed] = k
+    return lcl
+
+
+class HandoffEngine:
+    """Stateful handoff meter over a sequence of hierarchy snapshots.
+
+    Parameters
+    ----------
+    hash_fn:
+        CHLM hash ("rendezvous" default, or "naive" / callable).
+    """
+
+    def __init__(self, hash_fn="rendezvous"):
+        self.hash_fn = hash_fn
+        self._prev_h: ClusteredHierarchy | None = None
+        self._prev_a: ServerAssignment | None = None
+
+    @property
+    def assignment(self) -> ServerAssignment | None:
+        """Most recent server assignment (None before first observe)."""
+        return self._prev_a
+
+    def observe(self, h: ClusteredHierarchy, hop_fn: HopFn) -> HandoffReport:
+        """Meter one step against the previous snapshot.
+
+        The first call establishes the baseline and reports zero cost.
+        """
+        assignment = full_assignment(h, self.hash_fn)
+        empty: HandoffReport | None = None
+        if self._prev_h is None or self._prev_a is None:
+            empty = HandoffReport(
+                migration_packets={},
+                migration_entries={},
+                reorg_packets={},
+                reorg_entries={},
+                registration_packets={},
+                registration_events=0,
+                migration_events={},
+                reorg_event_counts={},
+                diff=HierarchyDiff(),
+            )
+        if empty is not None:
+            self._prev_h, self._prev_a = h, assignment
+            return empty
+
+        h0, a0 = self._prev_h, self._prev_a
+        diff = diff_hierarchies(h0, h)
+        purity = {(ev.node, ev.level): ev.pure for ev in diff.migrations}
+        lcl = _lowest_changed_levels(h0, h)
+        base_ids = h.levels[0].node_ids
+        idx = {int(v): i for i, v in enumerate(base_ids.tolist())}
+
+        migration_packets: dict[int, int] = {}
+        migration_entries: dict[int, int] = {}
+        reorg_packets: dict[int, int] = {}
+        reorg_entries: dict[int, int] = {}
+
+        def charge(cause: str, level: int, packets: int) -> None:
+            if cause == "migration":
+                migration_packets[level] = migration_packets.get(level, 0) + packets
+                migration_entries[level] = migration_entries.get(level, 0) + 1
+            else:
+                reorg_packets[level] = reorg_packets.get(level, 0) + packets
+                reorg_entries[level] = reorg_entries.get(level, 0) + 1
+
+        keys = set(assignment.servers) | set(a0.servers)
+        for key in keys:
+            subject, level = key
+            old_srv = a0.servers.get(key)
+            new_srv = assignment.servers.get(key)
+            if old_srv == new_srv:
+                continue
+            if new_srv is None:
+                # Hierarchy got shallower; entry expires without transfer.
+                continue
+            if old_srv is None:
+                # Hierarchy got deeper; fresh placement from the subject.
+                packets = max(hop_fn(subject, new_srv), 0)
+                charge("reorg", level, packets)
+                continue
+            packets = max(hop_fn(old_srv, new_srv), 0)
+
+            subj_change = int(lcl[idx[subject]])
+            if 0 < subj_change <= level:
+                pure = purity.get((subject, subj_change), False)
+                charge("migration" if pure else "reorg", level, packets)
+                continue
+            srv_change = int(lcl[idx[old_srv]])
+            if srv_change > 0:
+                pure = purity.get((old_srv, srv_change), False)
+                charge("migration" if pure else "reorg", level, packets)
+                continue
+            charge("reorg", level, packets)
+
+        # Registration: the level-k server stores the subject's
+        # level-(k-1) cluster (the granularity a recursive query needs),
+        # so it requires an update exactly when that component changes.
+        # This locality is what bounds registration at Theta(log|V|) in
+        # the companion paper [17]: the level-(k-1) component changes
+        # with frequency ~f_{k-1} and the update crosses ~h_k hops.
+        registration_packets: dict[int, int] = {}
+        registration_events = 0
+        min_l = min(h0.num_levels, h.num_levels)
+        # Levels 2..min_l plus the virtual global level (whose stored
+        # component is the subject's top-level cluster).
+        for level in range(2, min_l + 2):
+            component_changed = h0.ancestry(level - 1) != h.ancestry(level - 1)
+            for i in np.flatnonzero(component_changed).tolist():
+                v = int(base_ids[i])
+                key = (v, level)
+                srv_now = assignment.servers.get(key)
+                if srv_now is None or a0.servers.get(key) != srv_now:
+                    continue  # moved entries carry the fresh address
+                registration_events += 1
+                registration_packets[level] = registration_packets.get(
+                    level, 0
+                ) + max(hop_fn(v, srv_now), 0)
+
+        report = HandoffReport(
+            migration_packets=migration_packets,
+            migration_entries=migration_entries,
+            reorg_packets=reorg_packets,
+            reorg_entries=reorg_entries,
+            registration_packets=registration_packets,
+            registration_events=registration_events,
+            migration_events=diff.migration_counts(),
+            reorg_event_counts=diff.reorg_counts(),
+            diff=diff,
+        )
+        self._prev_h, self._prev_a = h, assignment
+        return report

@@ -1,0 +1,209 @@
+"""CHLM location-server selection (Section 3.2).
+
+For each node v and each level k >= 2, CHLM places one LM server inside
+v's level-k cluster by hashed *descent*, exactly as the paper walks
+through for node 63 of Fig. 1:
+
+1. Among the level-(k-1) clusters composing v's level-k cluster, a hash
+   of (v, stage) picks one (e.g. cluster 59 for 63's level-2 server).
+2. Within that cluster, another hash picks a level-(k-2) member, and so
+   on down to a level-0 node (node 33 in the example), which becomes
+   v's level-k location server.
+
+Level 1 needs no server: complete topology is known inside a level-1
+cluster ("no LM messaging is required for level-1 server maintenance").
+
+The descent is a pure function of (subject, hierarchy), so any node that
+knows the relevant cluster's internal hierarchy can recompute the server
+— this is what makes queries routable (feature (a) of GLS carried over).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.hashing import HASH_REGISTRY
+from repro.hierarchy.levels import ClusteredHierarchy
+
+__all__ = ["ServerAssignment", "select_server", "full_assignment"]
+
+HashFn = Callable[[int, int, "np.ndarray"], int | None]
+
+
+def _resolve_hash(hash_fn) -> HashFn:
+    if callable(hash_fn):
+        return hash_fn
+    try:
+        return HASH_REGISTRY[hash_fn]
+    except KeyError:
+        known = ", ".join(sorted(HASH_REGISTRY))
+        raise ValueError(f"unknown hash {hash_fn!r}; known: {known}") from None
+
+
+def lm_levels(h: ClusteredHierarchy) -> int:
+    """Highest LM server level: the hierarchy's L levels plus one
+    *virtual global level*.
+
+    The paper's example hierarchy tops out in a single cluster covering
+    the whole network ("the level-3 cluster with ID 100 (top level
+    cluster)").  When the recursion is capped at L = Theta(log n) levels
+    the top level holds several nodes, so CHLM treats the entire
+    top-level node set as one implicit cluster at level L + 1 — exactly
+    like GLS's whole-area square.  Every pair of connected nodes then
+    shares at least the global level, which is what makes queries total.
+    """
+    return h.num_levels + 1
+
+
+def select_server(
+    h: ClusteredHierarchy,
+    subject: int,
+    level: int,
+    hash_fn="rendezvous",
+) -> int | None:
+    """Level-``level`` LM server of ``subject`` under hierarchy ``h``.
+
+    ``level`` ranges over 2..``lm_levels(h)``; the topmost value is the
+    virtual global level (see :func:`lm_levels`).  Returns the chosen
+    level-0 node ID, or None when the level does not exist for this
+    hierarchy.
+
+    The stage salt mixes the target level and descent depth so the same
+    subject hashes independently at each stage.
+    """
+    if level < 2:
+        raise ValueError("CHLM places servers for levels >= 2 only")
+    if level > lm_levels(h):
+        return None
+    hfn = _resolve_hash(hash_fn)
+    if level == h.num_levels + 1:
+        members = h.levels[-1].node_ids
+        choice = hfn(subject, _stage_salt(level, level), members)
+        if choice is None:  # pragma: no cover - top never empty
+            return None
+        current = int(choice)
+        start_depth = h.num_levels
+    else:
+        current = h.cluster_of(subject, level)
+        start_depth = level
+    # Descend: current = the level-`depth` cluster chosen so far.
+    for depth in range(start_depth, 0, -1):
+        members = h.clusters(depth)[current]
+        choice = hfn(subject, _stage_salt(level, depth), members)
+        if choice is None:  # pragma: no cover - members never empty
+            return None
+        current = int(choice)
+    return current
+
+
+@dataclass(frozen=True)
+class ServerAssignment:
+    """Snapshot of every (subject, level) -> server mapping.
+
+    ``servers[(subject, level)]`` is the level-0 ID of the LM server
+    storing ``subject``'s level-``level`` address entry.
+    """
+
+    servers: dict[tuple[int, int], int]
+
+    def servers_of(self, subject: int) -> dict[int, int]:
+        """Per-level server of one subject."""
+        return {
+            lvl: srv for (subj, lvl), srv in self.servers.items() if subj == subject
+        }
+
+    def load(self) -> dict[int, int]:
+        """Entries stored per server — the Theta(log|V|) duty the paper
+        uses to size handoff transfers."""
+        counts: dict[int, int] = {}
+        for srv in self.servers.values():
+            counts[srv] = counts.get(srv, 0) + 1
+        return counts
+
+    def entries_served_by(self, server: int) -> list[tuple[int, int]]:
+        """(subject, level) entries held at ``server``."""
+        return [key for key, srv in self.servers.items() if srv == server]
+
+
+def _stage_salt(level: int, depth: int) -> int:
+    return level * 1315423911 + depth * 2654435761
+
+
+def _vectorized_rendezvous_stage(
+    subjects: np.ndarray, current: np.ndarray, partition: dict[int, np.ndarray], salt: int
+) -> np.ndarray:
+    """One descent stage for all subjects at once.
+
+    ``current[i]`` is subject i's cluster at this depth; the winner among
+    that cluster's members replaces it.  Grouped by cluster so each group
+    is one (s x m) uint64 weight matrix.
+    """
+    from repro.core.hashing import _GOLDEN, _SALT_CAND, mix64  # private reuse
+
+    out = np.empty_like(current)
+    order = np.argsort(current, kind="stable")
+    uniq, starts = np.unique(current[order], return_index=True)
+    groups = np.split(order, starts[1:])
+    salt_mix = mix64(np.uint64(salt))
+    with np.errstate(over="ignore"):
+        for cid, grp in zip(uniq.tolist(), groups):
+            members = partition[int(cid)]
+            subj_keys = subjects[grp].astype(np.uint64) * _GOLDEN
+            cand_keys = members.astype(np.uint64) * _SALT_CAND
+            weights = mix64(subj_keys[:, np.newaxis] ^ salt_mix ^ cand_keys[np.newaxis, :])
+            out[grp] = members[np.argmax(weights, axis=1)]
+    return out
+
+
+def full_assignment(h: ClusteredHierarchy, hash_fn="rendezvous") -> ServerAssignment:
+    """Compute the complete CHLM server assignment for a hierarchy.
+
+    One entry per (subject, level) for level = 2..``lm_levels(h)`` —
+    i.e. every real hierarchy level plus the virtual global level.  With
+    L = Theta(log|V|) levels this is the distributed database whose
+    per-node share is Theta(log|V|) entries (Section 3.2's closing
+    observation).
+
+    The default rendezvous hash runs a fully vectorized descent (grouped
+    weight matrices per cluster); other hashes fall back to the scalar
+    per-subject path.
+    """
+    servers: dict[tuple[int, int], int] = {}
+    top = lm_levels(h)
+    if top < 2:
+        return ServerAssignment(servers=servers)
+
+    partitions = {depth: h.clusters(depth) for depth in range(1, h.num_levels + 1)}
+    subjects = h.levels[0].node_ids
+    # The virtual global level: one implicit cluster holding every
+    # top-level node, keyed by a sentinel id.
+    global_partition = {0: h.levels[-1].node_ids}
+
+    if hash_fn == "rendezvous":
+        for level in range(2, top + 1):
+            if level == h.num_levels + 1:
+                current = np.zeros(subjects.size, dtype=np.int64)
+                current = _vectorized_rendezvous_stage(
+                    subjects, current, global_partition, _stage_salt(level, level)
+                )
+                start_depth = h.num_levels
+            else:
+                current = h.ancestry(level).copy()
+                start_depth = level
+            for depth in range(start_depth, 0, -1):
+                current = _vectorized_rendezvous_stage(
+                    subjects, current, partitions[depth], _stage_salt(level, depth)
+                )
+            for subj, srv in zip(subjects.tolist(), current.tolist()):
+                servers[(subj, level)] = srv
+        return ServerAssignment(servers=servers)
+
+    for subject in subjects.tolist():
+        for level in range(2, top + 1):
+            srv = select_server(h, subject, level, hash_fn)
+            if srv is not None:
+                servers[(subject, level)] = srv
+    return ServerAssignment(servers=servers)

@@ -1,0 +1,59 @@
+"""Experiment harness — one module per reproduced figure/claim.
+
+See DESIGN.md Section 3 for the experiment index.  Each module exposes
+``run(quick=True, ...) -> ExperimentResult``; the corresponding benchmark
+executes it and prints the table.
+"""
+
+from repro.experiments import (
+    e_a1_election_mode,
+    e_a2_level_mode,
+    e_a3_failures,
+    e_a4_staleness,
+    e_a5_persistent_ids,
+    e_a6_query_staleness,
+    e_a7_state_stretch,
+    e_a8_magic_number,
+    e_a9_end_to_end,
+    e_f1_hierarchy,
+    e_f2_gls_grid,
+    e_f3_alca_states,
+    e_t1_link_freq,
+    e_t2_hopcount,
+    e_t3_migration_freq,
+    e_t4_migration_handoff,
+    e_t5_reorg_handoff,
+    e_t6_cluster_link_freq,
+    e_t7_load_balance,
+    e_t8_gls_vs_chlm,
+    e_t9_table_size,
+    e_t10_overhead_budget,
+)
+from repro.experiments.common import ExperimentResult
+
+ALL_EXPERIMENTS = {
+    "EXP-F1": e_f1_hierarchy.run,
+    "EXP-F2": e_f2_gls_grid.run,
+    "EXP-F3": e_f3_alca_states.run,
+    "EXP-T1": e_t1_link_freq.run,
+    "EXP-T2": e_t2_hopcount.run,
+    "EXP-T3": e_t3_migration_freq.run,
+    "EXP-T4": e_t4_migration_handoff.run,
+    "EXP-T5": e_t5_reorg_handoff.run,
+    "EXP-T6": e_t6_cluster_link_freq.run,
+    "EXP-T7": e_t7_load_balance.run,
+    "EXP-T8": e_t8_gls_vs_chlm.run,
+    "EXP-T9": e_t9_table_size.run,
+    "EXP-T10": e_t10_overhead_budget.run,
+    "EXP-A1": e_a1_election_mode.run,
+    "EXP-A2": e_a2_level_mode.run,
+    "EXP-A3": e_a3_failures.run,
+    "EXP-A4": e_a4_staleness.run,
+    "EXP-A5": e_a5_persistent_ids.run,
+    "EXP-A6": e_a6_query_staleness.run,
+    "EXP-A7": e_a7_state_stretch.run,
+    "EXP-A8": e_a8_magic_number.run,
+    "EXP-A9": e_a9_end_to_end.run,
+}
+
+__all__ = ["ExperimentResult", "ALL_EXPERIMENTS"]

@@ -1,0 +1,124 @@
+"""EXP-A6 (extension) — query correctness under propagation lag.
+
+The paper treats queries as always answerable (Section 6 folds their
+cost into the session).  In a real deployment the distributed LM
+database lags the topology by at least one update round; this
+experiment measures what that lag costs: at each step, queries are
+resolved against the *previous* step's hierarchy and server assignment,
+and the answer is graded against the target's *current* address.
+
+Grades per query:
+
+* **exact** — the stale answer equals the current address (the session
+  can start immediately);
+* **routable** — the level-1 component still holds (the packet reaches
+  the target's current cluster; intra-cluster delivery fixes the rest);
+* **stale** — even the level-1 component changed (the session opener
+  must re-query).
+
+The paper's locality story predicts high routability: addresses change
+mostly at the bottom, and a one-step lag rarely invalidates upper
+components.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import levels_for
+from repro.core import HandoffEngine, resolve
+from repro.experiments.common import ExperimentResult
+from repro.geometry import disc_for_density
+from repro.hierarchy import build_hierarchy
+from repro.mobility import RandomWaypoint
+from repro.radio import radius_for_degree, unit_disk_edges
+from repro.sim.hops import EuclideanHops
+
+__all__ = ["run"]
+
+
+def _one_run(n: int, speed: float, steps: int, seed: int) -> dict[str, float]:
+    density = 0.02
+    degree = 9.0
+    r_tx = radius_for_degree(degree, density)
+    region = disc_for_density(n, density)
+    rng = np.random.default_rng(seed)
+    model = RandomWaypoint(n, region, speed, rng)
+    L = levels_for(n)
+
+    def build(pts):
+        edges = unit_disk_edges(pts, r_tx)
+        return build_hierarchy(np.arange(n), edges, max_levels=L,
+                               level_mode="radio", positions=pts, r0=r_tx)
+
+    for _ in range(10):
+        model.step(1.0)
+    engine = HandoffEngine()
+    pts = model.positions.copy()
+    h_prev = build(pts)
+    engine.observe(h_prev, EuclideanHops(pts, r_tx))
+    a_prev = engine.assignment
+
+    counts = {"exact": 0, "routable": 0, "stale": 0, "unresolved": 0}
+    total = 0
+    for _ in range(steps):
+        model.step(1.0)
+        pts = model.positions.copy()
+        h_now = build(pts)
+        hop = EuclideanHops(pts, r_tx)
+        for _ in range(20):
+            s, d = (int(x) for x in rng.integers(0, n, size=2))
+            if s == d:
+                continue
+            q = resolve(h_prev, a_prev, s, d, hop)
+            total += 1
+            if q.hit_level < 0 or q.address is None:
+                counts["unresolved"] += 1
+                continue
+            current = h_now.address(d)
+            if q.address == current:
+                counts["exact"] += 1
+            elif q.address[-2] == current[-2]:  # level-1 component holds
+                counts["routable"] += 1
+            else:
+                counts["stale"] += 1
+        engine.observe(h_now, hop)
+        h_prev, a_prev = h_now, engine.assignment
+    return {k: v / max(total, 1) for k, v in counts.items()}
+
+
+def run(quick: bool = True, seeds=(0, 1)) -> ExperimentResult:
+    """Run this experiment; returns the printable table (see module docstring)."""
+    n = 300 if quick else 800
+    steps = 15 if quick else 40
+    speeds = (0.5, 1.0, 2.0, 4.0)
+
+    result = ExperimentResult(
+        exp_id="EXP-A6",
+        title="Extension: query correctness with a one-step stale LM database",
+        columns=["speed (m/s)", "exact", "exact+routable", "stale",
+                 "unresolved"],
+    )
+    for mu in speeds:
+        acc: dict[str, list[float]] = {}
+        for seed in seeds:
+            rates = _one_run(n, mu, steps, seed)
+            for k, v in rates.items():
+                acc.setdefault(k, []).append(v)
+        m = {k: float(np.mean(v)) for k, v in acc.items()}
+        result.add_row(
+            mu, round(m["exact"], 3),
+            round(m["exact"] + m["routable"], 3),
+            round(m["stale"], 3), round(m["unresolved"], 3),
+        )
+    result.add_note(
+        "Reading: 'exact+routable' is the fraction of sessions a one-step "
+        "lag cannot break — the operational content of the paper's claim "
+        "that query overhead is absorbed into the session.  It should "
+        "degrade gracefully (not collapse) as speed rises."
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,108 @@
+"""EXP-A9 (extension) — end-to-end session success on the full stack.
+
+The system-level number every component experiment feeds: a node opens
+a session to a peer known only by ID — CHLM query against a
+one-round-stale database, then hop-by-hop hierarchical forwarding using
+the *resolved* (possibly stale) address.  Sweeps node speed and reports
+delivery rate, stale-address rate, and the per-session cost split
+(query packets vs data hops).
+
+This is the claim the paper's conclusion gestures at — a complete,
+IP-like service whose total control load scales polylogarithmically —
+demonstrated as a working application rather than a bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import levels_for
+from repro.app import MessagingService
+from repro.experiments.common import ExperimentResult
+from repro.geometry import disc_for_density
+from repro.mobility import RandomWaypoint
+from repro.radio import radius_for_degree
+from repro.sim.hops import EuclideanHops
+
+__all__ = ["run"]
+
+
+def _one_run(n: int, speed: float, steps: int, seed: int,
+             sessions_per_step: int = 8) -> dict[str, float]:
+    density = 0.02
+    r_tx = radius_for_degree(9.0, density)
+    region = disc_for_density(n, density)
+    rng = np.random.default_rng(seed)
+    model = RandomWaypoint(n, region, speed, rng)
+    svc = MessagingService(n, r_tx, max_levels=levels_for(n))
+    for _ in range(10):
+        model.step(1.0)
+    pts = model.positions.copy()
+    svc.observe(pts, EuclideanHops(pts, r_tx))
+    model.step(1.0)
+    pts = model.positions.copy()
+    svc.observe(pts, EuclideanHops(pts, r_tx))
+
+    delivered = resolved = stale = total = 0
+    query_pkts: list[int] = []
+    data_hops: list[int] = []
+    for _ in range(steps):
+        model.step(1.0)
+        pts = model.positions.copy()
+        hop = EuclideanHops(pts, r_tx)
+        svc.observe(pts, hop)
+        for _ in range(sessions_per_step):
+            s, d = (int(x) for x in rng.integers(0, n, size=2))
+            if s == d:
+                continue
+            r = svc.send(s, d, hop)
+            total += 1
+            resolved += int(r.resolved)
+            delivered += int(r.delivered)
+            stale += int(r.stale_address)
+            query_pkts.append(r.query_packets)
+            if r.delivered:
+                data_hops.append(r.data_hops)
+    return {
+        "delivered": delivered / max(total, 1),
+        "resolved": resolved / max(total, 1),
+        "stale": stale / max(total, 1),
+        "query_pkts": float(np.mean(query_pkts)) if query_pkts else 0.0,
+        "data_hops": float(np.mean(data_hops)) if data_hops else 0.0,
+    }
+
+
+def run(quick: bool = True, seeds=(0, 1)) -> ExperimentResult:
+    """Run this experiment; returns the printable table (see module docstring)."""
+    n = 300 if quick else 800
+    steps = 15 if quick else 40
+    speeds = (0.5, 1.0, 2.0, 4.0)
+
+    result = ExperimentResult(
+        exp_id="EXP-A9",
+        title="Extension: end-to-end session success on the full stack",
+        columns=["speed (m/s)", "delivered", "resolved", "stale addr",
+                 "query pkts", "data hops"],
+    )
+    for mu in speeds:
+        acc: dict[str, list[float]] = {}
+        for seed in seeds:
+            m = _one_run(n, mu, steps, seed)
+            for k, v in m.items():
+                acc.setdefault(k, []).append(v)
+        mean = {k: float(np.mean(v)) for k, v in acc.items()}
+        result.add_row(mu, round(mean["delivered"], 3), round(mean["resolved"], 3),
+                       round(mean["stale"], 3), round(mean["query_pkts"], 1),
+                       round(mean["data_hops"], 1))
+    result.add_note(
+        "Pipeline per session: CHLM query against a one-round-stale "
+        "database, then hop-by-hop forwarding with the *resolved* address "
+        "(no oracle).  Delivery should stay high at pedestrian speeds and "
+        "degrade gracefully — the working-system form of the paper's "
+        "conclusion."
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,60 @@
+"""EXP-F2 — Fig. 2: grid-based GLS hierarchy.
+
+Places nodes on a square region, overlays the recursive grid, and for a
+focal node tabulates — per level — its own square, the three sibling
+squares, and the Eq. (5)-selected location servers in each, reproducing
+the structure the paper's Fig. 2 draws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.geometry import square_for_density
+from repro.gls import GridHierarchy, GridLocationService
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, n: int = 256, seed: int = 5, focal: int = 63) -> ExperimentResult:
+    """Run this experiment; returns the printable table (see module docstring)."""
+    density = 0.02
+    region = square_for_density(n, density)
+    rng = np.random.default_rng(seed)
+    pts = region.sample(n, rng)
+    grid = GridHierarchy.for_region(region, l=region.side / 8)
+    svc = GridLocationService(grid=grid, node_ids=np.arange(n))
+    assignment = svc.compute_assignment(pts)
+
+    focal = focal % n
+    result = ExperimentResult(
+        exp_id="EXP-F2",
+        title=f"GLS grid hierarchy for node {focal} of {n} (Fig. 2 analogue)",
+        columns=["level", "own square", "sibling squares", "servers"],
+    )
+    for level in range(1, grid.L):
+        own = tuple(grid.square_of(pts[focal], level)[0].tolist())
+        sibs = [tuple(s) for s in grid.siblings_of(pts[focal], level).tolist()]
+        servers = assignment.servers.get((focal, level), ())
+        result.add_row(level, str(own), str(sibs), str(list(servers)))
+
+    load = assignment.load()
+    if load:
+        loads = np.array(list(load.values()))
+        result.add_note(
+            f"server load across {len(load)} serving nodes: "
+            f"mean={loads.mean():.2f}, max={loads.max()}"
+        )
+    result.add_note(
+        f"grid: L={grid.L} levels, level-1 side {grid.l:.1f} m, area side {grid.side:.1f} m"
+    )
+    result.add_note(
+        "server density decays with distance: one server per sibling square "
+        "per level (features (a)-(b) of Section 3.1)"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,75 @@
+"""EXP-T9 — Section 2.1 / Kleinrock-Kamoun [7]: routing state.
+
+Compares flat routing tables (|V| - 1 entries per node) with the strict
+hierarchical map (peers in the level-1 cluster plus sibling clusters per
+level).  The hierarchical map should grow ~logarithmically, the flat
+table linearly — the reduction that motivates hierarchical routing in
+the first place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import compare_shapes, levels_for
+from repro.experiments.common import ExperimentResult
+from repro.geometry import disc_for_density
+from repro.hierarchy import build_hierarchy
+from repro.radio import radius_for_degree, unit_disk_edges
+from repro.routing import flat_table_size, hierarchical_table_sizes
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seeds=(0, 1, 2)) -> ExperimentResult:
+    """Run this experiment; returns the printable table (see module docstring)."""
+    ns = (100, 200, 400, 800, 1600) if quick else (100, 200, 400, 800, 1600, 3200, 6400)
+    density = 0.02
+    degree = 9.0
+
+    result = ExperimentResult(
+        exp_id="EXP-T9",
+        title="Routing state: hierarchical map vs flat table",
+        columns=["n", "flat entries", "hier mean", "hier max",
+                 "hier/flat", "hier / log n"],
+    )
+    means = []
+    for n in ns:
+        samples = []
+        maxes = []
+        for seed in seeds:
+            region = disc_for_density(n, density)
+            rng = np.random.default_rng(seed)
+            pts = region.sample(n, rng)
+            r_tx = radius_for_degree(degree, density)
+            edges = unit_disk_edges(pts, r_tx)
+            h = build_hierarchy(
+                np.arange(n), edges, max_levels=levels_for(n),
+                level_mode="radio", positions=pts, r0=r_tx,
+            )
+            sizes = hierarchical_table_sizes(h)
+            samples.append(sizes.mean())
+            maxes.append(sizes.max())
+        mean = float(np.mean(samples))
+        means.append(mean)
+        flat = flat_table_size(n)
+        result.add_row(
+            n, flat, round(mean, 1), int(np.mean(maxes)),
+            round(mean / flat, 4), round(mean / np.log(n), 2),
+        )
+
+    fits = compare_shapes(list(ns), means, shapes=("log", "log2", "sqrt", "linear"))
+    result.add_note(
+        f"hierarchical map best shape: {fits[0].shape} "
+        f"(expected log-ish; ranking: {[f.shape for f in fits]})"
+    )
+    reduction = flat_table_size(ns[-1]) / means[-1]
+    result.add_note(
+        f"at n={ns[-1]} the hierarchical map is {reduction:.0f}x smaller "
+        "than the flat table"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,196 @@
+"""Deployment regions.
+
+The paper's model (Section 1.2): nodes uniform over a *circular* area that
+scales with the node count so average density is constant.  The GLS
+baseline (Section 3.1) instead overlays a *square* grid hierarchy, so a
+square region is provided as well.  Both expose the same interface:
+
+``sample(n, rng)``
+    n points uniform over the region,
+``contains(points)``
+    boolean membership mask,
+``clamp(points)``
+    project points back inside (used defensively by mobility models),
+``area``
+    region area.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.geometry.points import as_points
+
+
+class DeploymentRegion(ABC):
+    """Abstract 2-D deployment region."""
+
+    @property
+    @abstractmethod
+    def area(self) -> float:
+        """Region area in m^2."""
+
+    @property
+    @abstractmethod
+    def center(self) -> np.ndarray:
+        """Region center, shape ``(2,)``."""
+
+    @property
+    @abstractmethod
+    def diameter(self) -> float:
+        """Largest distance between two points of the region."""
+
+    @abstractmethod
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` points uniformly at random from the region."""
+
+    @abstractmethod
+    def contains(self, points) -> np.ndarray:
+        """Boolean mask of which points lie inside the region."""
+
+    @abstractmethod
+    def clamp(self, points) -> np.ndarray:
+        """Project points onto the region (identity for interior points)."""
+
+    def density_for(self, n: int) -> float:
+        """Node density if ``n`` nodes are deployed in this region."""
+        if n < 0:
+            raise ValueError("node count must be non-negative")
+        return n / self.area
+
+
+class DiscRegion(DeploymentRegion):
+    """Circular region of radius ``radius`` centred at ``center``.
+
+    This is the paper's deployment area.  Uniform sampling uses the
+    sqrt-radius transform so points are uniform in *area*, not in radius.
+    """
+
+    def __init__(self, radius: float, center=(0.0, 0.0)):
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self._radius = float(radius)
+        self._center = np.asarray(center, dtype=np.float64).reshape(2)
+
+    @property
+    def radius(self) -> float:
+        return self._radius
+
+    @property
+    def center(self) -> np.ndarray:
+        return self._center.copy()
+
+    @property
+    def area(self) -> float:
+        return float(np.pi * self._radius**2)
+
+    @property
+    def diameter(self) -> float:
+        return 2.0 * self._radius
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 0:
+            raise ValueError("sample size must be non-negative")
+        r = self._radius * np.sqrt(rng.random(n))
+        theta = rng.random(n) * (2.0 * np.pi)
+        pts = np.empty((n, 2), dtype=np.float64)
+        pts[:, 0] = r * np.cos(theta)
+        pts[:, 1] = r * np.sin(theta)
+        pts += self._center
+        return pts
+
+    def contains(self, points) -> np.ndarray:
+        pts = as_points(points) - self._center
+        return np.einsum("ij,ij->i", pts, pts) <= self._radius**2 * (1 + 1e-12)
+
+    def clamp(self, points) -> np.ndarray:
+        pts = as_points(points).copy()
+        rel = pts - self._center
+        dist = np.sqrt(np.einsum("ij,ij->i", rel, rel))
+        outside = dist > self._radius
+        if np.any(outside):
+            scale = self._radius / dist[outside]
+            pts[outside] = self._center + rel[outside] * scale[:, np.newaxis]
+        return pts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DiscRegion(radius={self._radius:g}, center={tuple(self._center)})"
+
+
+class SquareRegion(DeploymentRegion):
+    """Axis-aligned square region ``[x0, x0+side] x [y0, y0+side]``.
+
+    Used by the GLS grid hierarchy, which recursively quarters a square
+    (Fig. 2 of the paper).
+    """
+
+    def __init__(self, side: float, origin=(0.0, 0.0)):
+        if side <= 0:
+            raise ValueError("side must be positive")
+        self._side = float(side)
+        self._origin = np.asarray(origin, dtype=np.float64).reshape(2)
+
+    @property
+    def side(self) -> float:
+        return self._side
+
+    @property
+    def origin(self) -> np.ndarray:
+        return self._origin.copy()
+
+    @property
+    def center(self) -> np.ndarray:
+        return self._origin + self._side / 2.0
+
+    @property
+    def area(self) -> float:
+        return self._side**2
+
+    @property
+    def diameter(self) -> float:
+        return float(self._side * np.sqrt(2.0))
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 0:
+            raise ValueError("sample size must be non-negative")
+        return self._origin + rng.random((n, 2)) * self._side
+
+    def contains(self, points) -> np.ndarray:
+        pts = as_points(points) - self._origin
+        eps = self._side * 1e-12
+        return np.all((pts >= -eps) & (pts <= self._side + eps), axis=1)
+
+    def clamp(self, points) -> np.ndarray:
+        pts = as_points(points)
+        lo = self._origin
+        hi = self._origin + self._side
+        return np.clip(pts, lo, hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SquareRegion(side={self._side:g}, origin={tuple(self._origin)})"
+
+
+def disc_for_density(n: int, density: float, center=(0.0, 0.0)) -> DiscRegion:
+    """Disc sized so that ``n`` nodes give the requested ``density``.
+
+    This realizes the paper's fixed-density scaling: area = n / density,
+    hence the radius grows as Θ(sqrt(n)).
+    """
+    if n <= 0:
+        raise ValueError("node count must be positive")
+    if density <= 0:
+        raise ValueError("density must be positive")
+    area = n / density
+    return DiscRegion(radius=float(np.sqrt(area / np.pi)), center=center)
+
+
+def square_for_density(n: int, density: float, origin=(0.0, 0.0)) -> SquareRegion:
+    """Square sized so that ``n`` nodes give the requested ``density``."""
+    if n <= 0:
+        raise ValueError("node count must be positive")
+    if density <= 0:
+        raise ValueError("density must be positive")
+    area = n / density
+    return SquareRegion(side=float(np.sqrt(area)), origin=origin)

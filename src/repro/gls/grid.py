@@ -1,0 +1,131 @@
+"""Grid hierarchy for the Grid Location Service (Fig. 2 of the paper).
+
+A square deployment area of side ``l * 2**(L-1)`` is recursively
+quartered: level-1 squares have side ``l``; a level-i square has side
+``l * 2**(i-1)`` and contains exactly four level-(i-1) squares.  The
+level-L square is the whole area.
+
+Squares are addressed by integer grid coordinates ``(ix, iy)`` at each
+level; the parent of a level-i square is its coordinates floor-divided
+by two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.points import as_points
+from repro.geometry.region import SquareRegion
+
+__all__ = ["GridHierarchy"]
+
+
+@dataclass(frozen=True)
+class GridHierarchy:
+    """Recursive 2^L x 2^L grid over a square area.
+
+    Attributes
+    ----------
+    origin:
+        Lower-left corner of the covered area.
+    l:
+        Side of a level-1 (smallest) square.
+    L:
+        Number of levels; the level-L square (side ``l * 2**(L-1)``)
+        covers the whole area.
+    """
+
+    origin: tuple[float, float]
+    l: float
+    L: int
+
+    def __post_init__(self):
+        if self.l <= 0:
+            raise ValueError("level-1 square side must be positive")
+        if self.L < 1:
+            raise ValueError("need at least one level")
+
+    @classmethod
+    def for_region(cls, region: SquareRegion, l: float) -> "GridHierarchy":
+        """Smallest grid with level-1 side ``l`` covering ``region``."""
+        if l <= 0:
+            raise ValueError("level-1 square side must be positive")
+        ratio = region.side / l
+        L = int(np.ceil(np.log2(ratio))) + 1 if ratio > 1 else 1
+        return cls(origin=tuple(region.origin), l=float(l), L=L)
+
+    @property
+    def side(self) -> float:
+        """Side of the level-L (whole-area) square."""
+        return self.l * 2 ** (self.L - 1)
+
+    def square_side(self, level: int) -> float:
+        """Side of a level-``level`` square."""
+        self._check_level(level)
+        return self.l * 2 ** (level - 1)
+
+    def _check_level(self, level: int) -> None:
+        if not 1 <= level <= self.L:
+            raise ValueError(f"level {level} outside 1..{self.L}")
+
+    def square_of(self, points, level: int) -> np.ndarray:
+        """Grid coordinates ``(ix, iy)`` of each point's level square.
+
+        Points outside the covered area are clamped to the border cell,
+        mirroring GLS deployments where the grid covers the region.
+        """
+        self._check_level(level)
+        pts = as_points(points)
+        side = self.square_side(level)
+        rel = (pts - np.asarray(self.origin)) / side
+        coords = np.floor(rel).astype(np.int64)
+        max_idx = 2 ** (self.L - level) - 1
+        return np.clip(coords, 0, max_idx)
+
+    def square_key(self, points, level: int) -> np.ndarray:
+        """Scalar key for each point's level square (for grouping)."""
+        coords = self.square_of(points, level)
+        width = 2 ** (self.L - level)
+        return coords[:, 0] * width + coords[:, 1]
+
+    def parent(self, coords, level: int) -> np.ndarray:
+        """Parent (level+1) coordinates of level-``level`` squares."""
+        self._check_level(level)
+        if level == self.L:
+            raise ValueError("the top square has no parent")
+        return np.asarray(coords, dtype=np.int64) // 2
+
+    def children(self, coords, level: int) -> np.ndarray:
+        """The four level-(level-1) children of a level-``level`` square."""
+        self._check_level(level)
+        if level == 1:
+            raise ValueError("level-1 squares have no children")
+        c = np.asarray(coords, dtype=np.int64).reshape(2)
+        base = c * 2
+        offs = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.int64)
+        return base + offs
+
+    def siblings_of(self, point, level: int) -> np.ndarray:
+        """The 3 sibling squares of ``point``'s level-``level`` square
+        (children of the same parent, excluding the point's own square).
+
+        This is the square set in which GLS places the point's level
+        servers.
+        """
+        self._check_level(level)
+        if level == self.L:
+            raise ValueError("the top square has no siblings")
+        own = self.square_of(point, level)[0]
+        parent = own // 2
+        kids = self.children(parent, level + 1)
+        mask = ~np.all(kids == own, axis=1)
+        return kids[mask]
+
+    def square_center(self, coords, level: int) -> np.ndarray:
+        """Geometric center of a level square (for distance heuristics)."""
+        self._check_level(level)
+        side = self.square_side(level)
+        c = np.asarray(coords, dtype=np.float64).reshape(-1, 2)
+        return np.asarray(self.origin) + (c + 0.5) * side

@@ -1,0 +1,63 @@
+"""GLS server selection — the ID-hash of Eq. (5).
+
+Within a candidate square, node v's location server is the node whose ID
+is the *least ID greater than v* in circular ID space: the z minimizing
+``(z - v) mod N`` over candidates z != v (Eq. (5) of the paper,
+normalizing the ``mod_{v+|V|}(z+|V|)`` notation).  The selection is
+unambiguous and, when IDs in a square are numerous and uniform, spreads
+server duty evenly; the paper's Section 3.2 observes that the same rule
+applied to *small* candidate sets (cluster IDs) skews badly — which
+EXP-T7 demonstrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["circular_distance", "select_server", "select_server_sorted"]
+
+
+def circular_distance(v: int, z, modulus: int) -> np.ndarray:
+    """``(z - v) mod modulus`` with z == v mapped to ``modulus`` (worst).
+
+    The modulus must exceed every ID in play so distinct IDs never
+    collide in circular space.
+    """
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    z_arr = np.asarray(z, dtype=np.int64)
+    d = np.mod(z_arr - v, modulus)
+    return np.where(d == 0, modulus, d)
+
+
+def select_server(v: int, candidates, modulus: int) -> int | None:
+    """Least-ID-greater-than-v (circular) among ``candidates``.
+
+    Returns None when there are no candidates other than ``v`` itself.
+    """
+    cand = np.asarray(list(candidates), dtype=np.int64)
+    if cand.size == 0:
+        return None
+    d = circular_distance(v, cand, modulus)
+    best = int(np.argmin(d))
+    if d[best] >= modulus:
+        return None  # only v itself present
+    return int(cand[best])
+
+
+def select_server_sorted(v: int, sorted_candidates: np.ndarray, modulus: int) -> int | None:
+    """Same as :func:`select_server` but O(log n) on a pre-sorted array.
+
+    The least ID strictly greater than ``v`` is the first element after
+    ``v``'s insertion point; wrap to the smallest candidate if none —
+    skipping ``v`` itself in both cases.
+    """
+    cand = sorted_candidates
+    if cand.size == 0:
+        return None
+    # First candidate strictly greater than v, else wrap to the smallest.
+    i = int(np.searchsorted(cand, v, side="right"))
+    if i < cand.size:
+        return int(cand[i])
+    smallest = int(cand[0])
+    return smallest if smallest != v else None

@@ -1,0 +1,33 @@
+"""Clustered hierarchy substrate: recursive levels, addresses, statistics."""
+
+from repro.hierarchy.cluster_graph import canonical_edges, contract_edges
+from repro.hierarchy.levels import ClusteredHierarchy, LevelTopology, build_hierarchy
+from repro.hierarchy.maintain import HierarchyMaintainer
+from repro.hierarchy.persistent import (
+    PersistentHierarchyMaintainer,
+    PersistentLevelMaintainer,
+)
+from repro.hierarchy.render import render_hierarchy, render_summary
+from repro.hierarchy.stats import (
+    LevelStats,
+    hierarchy_stats,
+    level_hop_counts,
+    mean_hop_count,
+)
+
+__all__ = [
+    "canonical_edges",
+    "contract_edges",
+    "ClusteredHierarchy",
+    "LevelTopology",
+    "build_hierarchy",
+    "HierarchyMaintainer",
+    "PersistentHierarchyMaintainer",
+    "PersistentLevelMaintainer",
+    "render_hierarchy",
+    "render_summary",
+    "LevelStats",
+    "hierarchy_stats",
+    "level_hop_counts",
+    "mean_hop_count",
+]

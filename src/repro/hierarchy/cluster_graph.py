@@ -1,0 +1,60 @@
+"""Level-(k+1) topology from a level-k partition (edge contraction).
+
+The paper defines E_{k+1} implicitly: two level-(k+1) nodes (clusterheads)
+are linked iff their level-k clusters are adjacent, i.e. some level-k link
+crosses between the two clusters.  This module contracts a canonical edge
+array by a membership map in O(m log m).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["canonical_edges", "contract_edges"]
+
+
+def canonical_edges(edges) -> np.ndarray:
+    """Canonicalize an ID-pair edge array: per-row sorted, lexsorted rows,
+    duplicates and self-loops removed."""
+    e = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if e.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    e = np.sort(e, axis=1)
+    e = e[e[:, 0] != e[:, 1]]
+    if e.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    e = np.unique(e, axis=0)
+    return e
+
+
+def contract_edges(edges, node_ids: np.ndarray, member_of: np.ndarray) -> np.ndarray:
+    """Contract level-k edges into the level-(k+1) cluster graph.
+
+    Parameters
+    ----------
+    edges:
+        ``(m, 2)`` level-k edges as ID pairs.
+    node_ids:
+        Sorted level-k node IDs.
+    member_of:
+        Cluster affiliation aligned with ``node_ids`` (head IDs).
+
+    Returns
+    -------
+    Canonical ``(m', 2)`` array of head-ID pairs: one edge per adjacent
+    cluster pair.
+    """
+    e = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if e.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    ui = np.searchsorted(node_ids, e[:, 0])
+    vi = np.searchsorted(node_ids, e[:, 1])
+    if (
+        np.any(ui >= node_ids.size)
+        or np.any(vi >= node_ids.size)
+        or np.any(node_ids[ui] != e[:, 0])
+        or np.any(node_ids[vi] != e[:, 1])
+    ):
+        raise ValueError("edges reference ids not in node_ids")
+    heads = np.stack([member_of[ui], member_of[vi]], axis=1)
+    return canonical_edges(heads)

@@ -1,0 +1,268 @@
+"""Clustered hierarchy construction (Fig. 1 of the paper).
+
+Recursive application of the LCA election: level-0 is the physical
+unit-disk graph; the elected clusterheads become the level-1 node set,
+linked when their clusters are adjacent; and so on until the topology
+stops shrinking (single node, or no remaining links).
+
+:class:`ClusteredHierarchy` is an immutable snapshot.  The simulator
+builds one per step and diffs consecutive snapshots to detect migration
+and reorganization events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.lca import Election, elect
+from repro.clustering.maxmin import maxmin_cluster
+from repro.hierarchy.cluster_graph import canonical_edges, contract_edges
+
+__all__ = ["LevelTopology", "ClusteredHierarchy", "build_hierarchy"]
+
+
+@dataclass(frozen=True)
+class LevelTopology:
+    """One level of the clustered hierarchy.
+
+    ``election`` is the LCA outcome that produced level ``k + 1`` from
+    this level; it is ``None`` for the top level, where clustering was
+    not applied (or did not shrink the topology further).
+    """
+
+    k: int
+    node_ids: np.ndarray
+    edges: np.ndarray
+    election: Election | None
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.node_ids.size)
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.edges.shape[0])
+
+    @property
+    def mean_degree(self) -> float:
+        """d_k of Eq. (1a)."""
+        if self.n_nodes == 0:
+            return 0.0
+        return 2.0 * self.n_edges / self.n_nodes
+
+
+class ClusteredHierarchy:
+    """Immutable multi-level clustered hierarchy snapshot.
+
+    Attributes
+    ----------
+    levels:
+        ``levels[k]`` is the level-k topology; ``levels[0]`` is the
+        physical graph.  ``num_levels`` (= L) counts clustering
+        applications, so ``len(levels) == L + 1``.
+    """
+
+    def __init__(self, levels: list[LevelTopology]):
+        if not levels:
+            raise ValueError("hierarchy needs at least the physical level")
+        self.levels = levels
+        self._base_ids = levels[0].node_ids
+        # Ancestor maps: _anc[k][i] = level-k cluster (ID) of base node i.
+        anc = [self._base_ids.copy()]
+        for lvl in levels[:-1]:
+            assert lvl.election is not None
+            idx = np.searchsorted(lvl.node_ids, anc[-1])
+            anc.append(lvl.election.member_of[idx])
+        self._anc = anc
+
+    # -- basic shape ----------------------------------------------------------
+
+    @property
+    def num_levels(self) -> int:
+        """L: number of clustering levels applied."""
+        return len(self.levels) - 1
+
+    @property
+    def n(self) -> int:
+        """|V|: physical node count."""
+        return self.levels[0].n_nodes
+
+    def level_sizes(self) -> list[int]:
+        """[|V_0|, |V_1|, ..., |V_L|]."""
+        return [lvl.n_nodes for lvl in self.levels]
+
+    # -- membership -------------------------------------------------------------
+
+    def _base_index(self, v) -> np.ndarray:
+        arr = np.asarray(v, dtype=np.int64).reshape(-1)
+        idx = np.searchsorted(self._base_ids, arr)
+        if np.any(idx >= self._base_ids.size) or np.any(self._base_ids[idx] != arr):
+            raise KeyError(f"unknown node id(s) in {arr!r}")
+        return idx
+
+    def cluster_of(self, v: int, k: int) -> int:
+        """ID of the level-k cluster containing physical node ``v``.
+
+        ``cluster_of(v, 0) == v``; for k = L it is the top-level ancestor.
+        """
+        if not 0 <= k <= self.num_levels:
+            raise ValueError(f"level {k} outside 0..{self.num_levels}")
+        return int(self._anc[k][self._base_index(v)[0]])
+
+    def ancestry(self, k: int) -> np.ndarray:
+        """Level-k cluster ID for *every* physical node (aligned with
+        ``levels[0].node_ids``)."""
+        if not 0 <= k <= self.num_levels:
+            raise ValueError(f"level {k} outside 0..{self.num_levels}")
+        return self._anc[k]
+
+    def address(self, v: int) -> tuple[int, ...]:
+        """Hierarchical address (top-level cluster, ..., level-1 cluster, v).
+
+        Strict hierarchical routing forwards packets on exactly this
+        address (Section 2.1).
+        """
+        i = self._base_index(v)[0]
+        return tuple(int(self._anc[k][i]) for k in range(self.num_levels, -1, -1))
+
+    def clusters(self, k: int) -> dict[int, np.ndarray]:
+        """Partition of level-(k-1) nodes into level-k clusters."""
+        if not 1 <= k <= self.num_levels:
+            raise ValueError(f"level {k} outside 1..{self.num_levels}")
+        election = self.levels[k - 1].election
+        assert election is not None
+        return election.clusters()
+
+    def members0(self, k: int, cluster_id: int) -> np.ndarray:
+        """Physical nodes whose level-k ancestor is ``cluster_id``."""
+        if not 0 <= k <= self.num_levels:
+            raise ValueError(f"level {k} outside 0..{self.num_levels}")
+        return self._base_ids[self._anc[k] == cluster_id]
+
+    def highest_level_of(self, v: int) -> int:
+        """Largest k such that ``v`` is a level-k node."""
+        self._base_index(v)  # validate
+        level = 0
+        for k in range(1, len(self.levels)):
+            ids = self.levels[k].node_ids
+            i = np.searchsorted(ids, v)
+            if i < ids.size and ids[i] == v:
+                level = k
+            else:
+                break
+        return level
+
+    # -- misc -------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = "/".join(str(s) for s in self.level_sizes())
+        return f"ClusteredHierarchy(L={self.num_levels}, sizes={sizes})"
+
+
+def build_hierarchy(
+    node_ids,
+    edges,
+    max_levels: int | None = None,
+    algorithm: str = "lca",
+    maxmin_d: int = 2,
+    level_mode: str = "contraction",
+    positions=None,
+    r0: float | None = None,
+) -> ClusteredHierarchy:
+    """Cluster ``(node_ids, edges)`` recursively into a hierarchy.
+
+    Parameters
+    ----------
+    node_ids, edges:
+        The physical (level-0) topology; IDs are arbitrary unique ints,
+        edges are ID pairs.
+    max_levels:
+        Stop after this many clustering applications (None = cluster
+        until the topology stops shrinking: one node left, or no links).
+    algorithm:
+        ``"lca"`` (the paper's ALCA; default) or ``"maxmin"`` (the
+        Amis et al. baseline, with radius ``maxmin_d``).
+    level_mode:
+        How level-k links (E_k, k >= 1) are derived:
+
+        * ``"contraction"`` — two clusterheads are linked iff their
+          clusters are adjacent (some level-(k-1) link crosses).  Simple,
+          but adjacency can hinge on one boundary link, so high-level
+          links flicker under mobility.
+        * ``"radio"`` — level-k nodes are linked iff their *positions*
+          are within ``r_k = r0 * sqrt(|V|/|V_k|)``: the same unit-disk
+          construction as level 0, with the radius scaled so mean level
+          degree stays constant.  This is the geometric cluster-link
+          model the paper's own Section 5.3.1 analysis assumes ("the
+          relative distance separating neighbor clusterheads ...
+          Theta(sqrt(c_k))"), and it yields the Theta(1/h_k) link-change
+          frequencies the gamma bound requires.  Requires ``positions``
+          (aligned with sorted node_ids) and ``r0`` (the level-0 radius).
+    positions, r0:
+        Only used (and required) for ``level_mode="radio"``.
+    """
+    if algorithm not in ("lca", "maxmin"):
+        raise ValueError(f"unknown clustering algorithm {algorithm!r}")
+    if level_mode not in ("contraction", "radio"):
+        raise ValueError(f"unknown level_mode {level_mode!r}")
+    cur_ids = np.unique(np.asarray(list(node_ids), dtype=np.int64))
+    cur_edges = canonical_edges(edges)
+    if level_mode == "radio":
+        if positions is None or r0 is None:
+            raise ValueError("radio level_mode requires positions and r0")
+        pos = np.asarray(positions, dtype=np.float64)
+        if pos.shape[0] != cur_ids.size:
+            raise ValueError("positions must align with node_ids")
+        base_ids = cur_ids
+        n0 = cur_ids.size
+    levels: list[LevelTopology] = []
+    k = 0
+    while True:
+        at_cap = max_levels is not None and k >= max_levels
+        if at_cap or cur_ids.size <= 1 or cur_edges.shape[0] == 0:
+            levels.append(LevelTopology(k, cur_ids, cur_edges, election=None))
+            break
+        if algorithm == "lca":
+            result = elect(cur_ids, cur_edges)
+            member_of = result.member_of
+            heads = result.clusterheads
+        else:
+            mm = maxmin_cluster(cur_ids, cur_edges, d=maxmin_d)
+            member_of = mm.head_choice
+            heads = mm.clusterheads
+            # Store an Election-compatible record so downstream code can
+            # treat both algorithms uniformly.
+            result = Election(
+                node_ids=mm.node_ids,
+                elected_head=mm.head_choice,
+                member_of=mm.head_choice,
+                elector_count=np.bincount(
+                    np.searchsorted(cur_ids, mm.head_choice),
+                    minlength=cur_ids.size,
+                )
+                - np.isin(cur_ids, heads).astype(np.int64),
+                clusterheads=heads,
+            )
+        if heads.size == cur_ids.size:
+            # No aggregation possible; treat as top.
+            levels.append(LevelTopology(k, cur_ids, cur_edges, election=None))
+            break
+        levels.append(LevelTopology(k, cur_ids, cur_edges, election=result))
+        if level_mode == "radio":
+            from repro.radio.unit_disk import unit_disk_edges
+
+            head_idx = np.searchsorted(base_ids, heads)
+            r_k = float(r0) * float(np.sqrt(n0 / heads.size))
+            pair_idx = unit_disk_edges(pos[head_idx], r_k)
+            cur_edges = (
+                heads[pair_idx]
+                if pair_idx.size
+                else np.empty((0, 2), dtype=np.int64)
+            )
+        else:
+            cur_edges = contract_edges(cur_edges, cur_ids, member_of)
+        cur_ids = heads
+        k += 1
+    return ClusteredHierarchy(levels)

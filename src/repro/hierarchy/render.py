@@ -1,0 +1,73 @@
+"""Plain-text rendering of clustered hierarchies (the Fig. 1 picture).
+
+Console analogue of the paper's hierarchy figure: an indented tree from
+the top-level clusters down to (optionally elided) level-0 members,
+plus a one-line per-level summary banner.
+"""
+
+from __future__ import annotations
+
+from repro.hierarchy.levels import ClusteredHierarchy
+
+__all__ = ["render_hierarchy", "render_summary"]
+
+
+def render_summary(h: ClusteredHierarchy) -> str:
+    """One line per level: counts and arities."""
+    lines = []
+    prev = None
+    for lvl in h.levels:
+        arity = f"{prev / lvl.n_nodes:5.2f}" if prev else "    -"
+        lines.append(
+            f"level {lvl.k}: {lvl.n_nodes:5d} nodes, {lvl.n_edges:6d} links,"
+            f" arity {arity}, mean degree {lvl.mean_degree:5.2f}"
+        )
+        prev = lvl.n_nodes
+    return "\n".join(lines)
+
+
+def render_hierarchy(
+    h: ClusteredHierarchy,
+    max_children: int = 8,
+    show_level0: bool = True,
+) -> str:
+    """Indented cluster tree, top level first.
+
+    Parameters
+    ----------
+    max_children:
+        Elide siblings beyond this count per cluster (replaced by an
+        ellipsis line with the hidden count).
+    show_level0:
+        Whether to print level-0 members (the leaves) or stop at level 1.
+    """
+    if max_children < 1:
+        raise ValueError("max_children must be positive")
+    lines: list[str] = []
+
+    def walk(cluster_id: int, level: int, indent: int) -> None:
+        pad = "  " * indent
+        if level == 0:
+            lines.append(f"{pad}* {cluster_id}")
+            return
+        members = h.clusters(level).get(cluster_id)
+        size0 = h.members0(level, cluster_id).size
+        lines.append(f"{pad}[L{level}] cluster {cluster_id} "
+                     f"({size0} level-0 nodes)")
+        if members is None:
+            return
+        if level == 1 and not show_level0:
+            return
+        shown = members[:max_children]
+        for m in shown.tolist():
+            walk(int(m), level - 1, indent + 1)
+        hidden = len(members) - len(shown)
+        if hidden > 0:
+            lines.append(f"{'  ' * (indent + 1)}... ({hidden} more)")
+
+    top = h.levels[-1]
+    if h.num_levels == 0:
+        return "\n".join(f"* {v}" for v in top.node_ids.tolist())
+    for cid in top.node_ids.tolist():
+        walk(int(cid), h.num_levels, 0)
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Reference-point group mobility (RPGM).
+
+Hierarchical routing papers (HSR [11,12], MMWN [13]) motivate clustering
+with *group* mobility: squads of nodes move together.  RPGM models this
+with per-group logical centers following random waypoint, and members
+jittering around their center.  Group motion keeps clusters stable, so it
+is the favorable regime for the paper's handoff bound — the benchmarks use
+it as a sensitivity axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.region import DeploymentRegion
+from repro.mobility.base import MobilityModel
+from repro.mobility.random_waypoint import RandomWaypoint
+
+
+class ReferencePointGroup(MobilityModel):
+    """RPGM: ``n_groups`` reference points move by random waypoint; each
+    member tracks its reference point plus a bounded random offset.
+
+    Parameters
+    ----------
+    n_groups:
+        Number of groups; nodes are assigned round-robin.
+    group_radius:
+        Maximum distance of a member's reference offset from the group
+        center.
+    jitter_speed:
+        Speed at which a member's local offset wanders (m/s).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        region: DeploymentRegion,
+        speed,
+        rng: np.random.Generator,
+        n_groups: int = 4,
+        group_radius: float = 50.0,
+        jitter_speed: float | None = None,
+    ):
+        super().__init__(n, region, speed, rng)
+        if n_groups <= 0:
+            raise ValueError("n_groups must be positive")
+        if group_radius <= 0:
+            raise ValueError("group_radius must be positive")
+        self.n_groups = int(min(n_groups, n))
+        self.group_radius = float(group_radius)
+        self.jitter_speed = float(
+            jitter_speed if jitter_speed is not None else max(self.mean_speed * 0.25, 1e-9)
+        )
+        self.group_of = np.arange(self.n) % self.n_groups
+        # Group centers follow random waypoint with the model's speed spec.
+        self._centers = RandomWaypoint(
+            self.n_groups, region, self._speed_spec, rng, pause=0.0
+        )
+        # Member offsets, uniform in the group disc.
+        r = self.group_radius * np.sqrt(rng.random(self.n))
+        theta = rng.random(self.n) * (2.0 * np.pi)
+        self._offsets = np.stack([r * np.cos(theta), r * np.sin(theta)], axis=1)
+        self.positions = self.region.clamp(
+            self._centers.positions[self.group_of] + self._offsets
+        )
+
+    def step(self, dt: float) -> np.ndarray:
+        self._advance_clock(dt)
+        centers = self._centers.step(dt)
+        # Random-walk the offsets, reflecting at the group radius.
+        theta = self.rng.random(self.n) * (2.0 * np.pi)
+        kick = np.stack([np.cos(theta), np.sin(theta)], axis=1)
+        self._offsets += kick * (self.jitter_speed * dt)
+        norm = np.sqrt(np.einsum("ij,ij->i", self._offsets, self._offsets))
+        over = norm > self.group_radius
+        if np.any(over):
+            self._offsets[over] *= (self.group_radius / norm[over])[:, np.newaxis]
+        self.positions = self.region.clamp(centers[self.group_of] + self._offsets)
+        return self.positions

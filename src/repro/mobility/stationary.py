@@ -1,0 +1,27 @@
+"""Stationary placement — the zero-mobility control.
+
+With mu = 0 the paper predicts *no* handoff at all (both f_k and g_k
+vanish); the integration tests use this model to assert the simulator
+meters exactly zero handoff packets on a static network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.region import DeploymentRegion
+from repro.mobility.base import MobilityModel
+
+
+class Stationary(MobilityModel):
+    """Nodes never move; ``step`` only advances the clock."""
+
+    def __init__(self, n: int, region: DeploymentRegion, rng: np.random.Generator, speed=None):
+        # Speed is irrelevant; accept and ignore any value for interface
+        # compatibility with the scenario factory.
+        super().__init__(n, region, 1.0, rng)
+        self.speeds[:] = 0.0
+
+    def step(self, dt: float) -> np.ndarray:
+        self._advance_clock(dt)
+        return self.positions

@@ -1,0 +1,36 @@
+"""Radio substrate: unit-disk links, connectivity sizing, link events."""
+
+from repro.radio.unit_disk import (
+    unit_disk_edges,
+    unit_disk_graph,
+    edges_to_graph,
+    degree_counts,
+    encode_edges,
+    decode_edges,
+)
+from repro.radio.connectivity import (
+    radius_for_degree,
+    gupta_kumar_radius,
+    expected_degree,
+    is_connected,
+    giant_component_fraction,
+    largest_component_nodes,
+)
+from repro.radio.linkevents import LinkDiff, LinkTracker
+
+__all__ = [
+    "unit_disk_edges",
+    "unit_disk_graph",
+    "edges_to_graph",
+    "degree_counts",
+    "encode_edges",
+    "decode_edges",
+    "radius_for_degree",
+    "gupta_kumar_radius",
+    "expected_degree",
+    "is_connected",
+    "giant_component_fraction",
+    "largest_component_nodes",
+    "LinkDiff",
+    "LinkTracker",
+]

@@ -1,0 +1,82 @@
+"""Connectivity tools for random unit-disk deployments.
+
+The paper (Section 1.2, citing Gupta & Kumar [3]) notes that to keep a
+random deployment connected the transmission radius must scale like
+Theta(sqrt(log n / n)) relative to the region side — equivalently, the
+average degree must grow like Theta(log n).  These helpers size ``r_tx``
+for a target degree or for asymptotic connectivity, and check the giant
+component of a realized deployment.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.radio.unit_disk import unit_disk_edges, edges_to_graph
+
+
+def radius_for_degree(target_degree: float, density: float) -> float:
+    """Transmission radius giving an expected unit-disk degree.
+
+    For a Poisson field of intensity ``density``, the expected number of
+    neighbors within radius r is density * pi * r^2, so
+    ``r = sqrt(d / (pi * density))``.  The paper's "six is a magic number"
+    reference [2] suggests d around 6-8 for good connectivity/throughput.
+    """
+    if target_degree <= 0:
+        raise ValueError("target degree must be positive")
+    if density <= 0:
+        raise ValueError("density must be positive")
+    return float(np.sqrt(target_degree / (np.pi * density)))
+
+
+def gupta_kumar_radius(n: int, area: float, c: float = 1.0) -> float:
+    """Critical connectivity radius sqrt(c * area * log n / (pi * n)).
+
+    With c > 1 the random geometric graph is asymptotically almost surely
+    connected (Gupta-Kumar); with c < 1 it is a.a.s. disconnected.
+    """
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    if area <= 0:
+        raise ValueError("area must be positive")
+    return float(np.sqrt(c * area * np.log(n) / (np.pi * n)))
+
+
+def expected_degree(r_tx: float, density: float) -> float:
+    """Expected unit-disk degree for a radius at a given density."""
+    if r_tx <= 0 or density <= 0:
+        raise ValueError("radius and density must be positive")
+    return float(density * np.pi * r_tx**2)
+
+
+def is_connected(positions, r_tx: float) -> bool:
+    """Whether the realized unit-disk graph is a single component."""
+    pts = np.asarray(positions, dtype=np.float64)
+    n = pts.shape[0]
+    if n <= 1:
+        return True
+    g = edges_to_graph(n, unit_disk_edges(pts, r_tx))
+    return nx.is_connected(g)
+
+
+def giant_component_fraction(positions, r_tx: float) -> float:
+    """Fraction of nodes in the largest connected component."""
+    pts = np.asarray(positions, dtype=np.float64)
+    n = pts.shape[0]
+    if n == 0:
+        raise ValueError("empty deployment")
+    g = edges_to_graph(n, unit_disk_edges(pts, r_tx))
+    return max(len(c) for c in nx.connected_components(g)) / n
+
+
+def largest_component_nodes(positions, r_tx: float) -> np.ndarray:
+    """Sorted node indices of the largest connected component."""
+    pts = np.asarray(positions, dtype=np.float64)
+    n = pts.shape[0]
+    if n == 0:
+        raise ValueError("empty deployment")
+    g = edges_to_graph(n, unit_disk_edges(pts, r_tx))
+    comp = max(nx.connected_components(g), key=len)
+    return np.array(sorted(comp), dtype=np.int64)

@@ -1,0 +1,108 @@
+"""Link state change detection between topology snapshots.
+
+Equation (4) of the paper defines f_0, the per-node frequency of level-0
+link state change events, and argues it is Theta(1) under fixed density:
+links live Theta(R_tx / mu) seconds, and each node has Theta(1) of them.
+:class:`LinkTracker` meters exactly this quantity: feed it the canonical
+edge array after every mobility step and it reports links that appeared
+(ups) and disappeared (downs).
+
+Diffs operate on scalar-encoded edge keys (``u * n + v``), so one step is
+two ``np.isin`` calls on sorted int arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.radio.unit_disk import decode_edges, encode_edges
+
+
+@dataclass
+class LinkDiff:
+    """Result of one snapshot comparison."""
+
+    ups: np.ndarray  # (k, 2) edges that appeared
+    downs: np.ndarray  # (m, 2) edges that disappeared
+
+    @property
+    def n_events(self) -> int:
+        """Total link state change events (ups + downs)."""
+        return int(len(self.ups) + len(self.downs))
+
+
+@dataclass
+class LinkTracker:
+    """Accumulates link up/down events across a run.
+
+    Attributes
+    ----------
+    n:
+        Node count (fixes the edge-key encoding).
+    total_ups / total_downs:
+        Cumulative event counts.
+    per_node_events:
+        Event count attributed to each endpoint (each event charges both
+        endpoints once, matching the per-node accounting of Eq. (4)).
+    """
+
+    n: int
+    total_ups: int = 0
+    total_downs: int = 0
+    steps: int = 0
+    per_node_events: np.ndarray = field(default=None)  # type: ignore[assignment]
+    _prev_keys: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError("node count must be positive")
+        if self.per_node_events is None:
+            self.per_node_events = np.zeros(self.n, dtype=np.int64)
+
+    def observe(self, edges: np.ndarray) -> LinkDiff:
+        """Record a snapshot; return the diff against the previous one.
+
+        The first observation establishes the baseline and reports an
+        empty diff.
+        """
+        keys = encode_edges(edges, self.n)
+        if self._prev_keys is None:
+            self._prev_keys = keys
+            return LinkDiff(
+                ups=np.empty((0, 2), dtype=np.int64),
+                downs=np.empty((0, 2), dtype=np.int64),
+            )
+        prev = self._prev_keys
+        up_keys = keys[~np.isin(keys, prev, assume_unique=True)]
+        down_keys = prev[~np.isin(prev, keys, assume_unique=True)]
+        self._prev_keys = keys
+        ups = decode_edges(up_keys, self.n)
+        downs = decode_edges(down_keys, self.n)
+        self.total_ups += len(ups)
+        self.total_downs += len(downs)
+        self.steps += 1
+        for arr in (ups, downs):
+            if len(arr):
+                np.add.at(self.per_node_events, arr[:, 0], 1)
+                np.add.at(self.per_node_events, arr[:, 1], 1)
+        return LinkDiff(ups=ups, downs=downs)
+
+    def events_per_node_per_second(self, elapsed: float) -> float:
+        """Mean link change frequency per node — the measured f_0.
+
+        ``elapsed`` is the simulated time spanned by the observed diffs
+        (i.e. excluding the baseline snapshot).
+        """
+        if elapsed <= 0:
+            raise ValueError("elapsed time must be positive")
+        return float(self.per_node_events.mean() / elapsed)
+
+    def reset(self) -> None:
+        """Forget all state, including the baseline snapshot."""
+        self.total_ups = 0
+        self.total_downs = 0
+        self.steps = 0
+        self.per_node_events[:] = 0
+        self._prev_keys = None

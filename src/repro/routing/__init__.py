@@ -1,0 +1,21 @@
+"""Routing substrate: strict hierarchical routing and the flat baseline."""
+
+from repro.routing.flat import FlatRouter
+from repro.routing.forwarding import ForwardingFabric, ForwardingTable, ForwardResult
+from repro.routing.strict import HierarchicalRouter
+from repro.routing.tables import (
+    flat_table_size,
+    hierarchical_table_size,
+    hierarchical_table_sizes,
+)
+
+__all__ = [
+    "FlatRouter",
+    "ForwardingFabric",
+    "ForwardingTable",
+    "ForwardResult",
+    "HierarchicalRouter",
+    "flat_table_size",
+    "hierarchical_table_size",
+    "hierarchical_table_sizes",
+]

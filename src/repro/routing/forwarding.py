@@ -1,0 +1,287 @@
+"""Distributed hop-by-hop forwarding with per-node hierarchical maps.
+
+Section 2.1 of the paper: "packet forwarding decisions are made solely
+on the hierarchical address of the destination node and every node has a
+O(log|V|) hierarchical map".  The :class:`HierarchicalRouter` computes
+whole paths centrally; this module instead *builds each node's map* and
+forwards packets one hop at a time, each node consulting only
+
+* its routes to the level-0 members of its level-1 cluster, and
+* for each level k, its next hop toward every sibling level-k cluster
+  of its level-(k+1) cluster,
+
+which is exactly the O(alpha * L) state EXP-T9 counts.  The tests check
+that hop-by-hop forwarding terminates without livelock and delivers
+wherever the centralized router does — the operational proof that the
+hierarchical address alone suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs import CompactGraph, bfs_distances
+from repro.hierarchy.levels import ClusteredHierarchy
+
+__all__ = ["ForwardingTable", "ForwardingFabric", "ForwardResult"]
+
+
+@dataclass(frozen=True)
+class ForwardingTable:
+    """One node's hierarchical map.
+
+    ``intra[dest_id]`` — next hop toward a level-0 member of the node's
+    level-1 cluster.
+    ``clusters[(k, cluster_id)]`` — next hop toward a sibling level-k
+    cluster (an adjacent physical node on a shortest path to the nearest
+    member of that cluster).
+    """
+
+    node: int
+    intra: dict[int, int]
+    clusters: dict[tuple[int, int], int]
+
+    @property
+    def size(self) -> int:
+        """Number of entries (the EXP-T9 quantity)."""
+        return len(self.intra) + len(self.clusters)
+
+
+@dataclass(frozen=True)
+class ForwardResult:
+    """Outcome of one hop-by-hop delivery attempt."""
+
+    delivered: bool
+    path: list[int]
+    reason: str = ""
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+class ForwardingFabric:
+    """Builds all nodes' tables for one hierarchy snapshot and forwards
+    packets across them.
+
+    Next hops are derived from per-target-set BFS trees: for every
+    routing target (a level-1 peer, or a sibling cluster's member set) a
+    multi-source BFS labels each node's neighbor toward the target —
+    equivalent to each node learning distances from a link-state flood
+    scoped to its cluster, as hierarchical link-state protocols do.
+    """
+
+    def __init__(self, h: ClusteredHierarchy, g0: CompactGraph):
+        if not np.array_equal(h.levels[0].node_ids, g0.node_ids):
+            raise ValueError("hierarchy and graph node sets differ")
+        self.h = h
+        self.g0 = g0
+        self._tables: dict[int, ForwardingTable] = {}
+        self._build()
+
+    # -- construction -------------------------------------------------------------
+
+    def _multi_source_next_hop(self, targets: np.ndarray,
+                               restrict_mask: np.ndarray | None = None) -> np.ndarray:
+        """For every node index: neighbor index on a shortest path toward
+        the nearest target (or -1 for targets themselves / unreachable).
+
+        One BFS from the target set, recording parents away from it; the
+        next hop toward the set is the BFS parent.  With
+        ``restrict_mask`` the flood stays inside the allowed node set —
+        used to confine sibling-cluster routes to the shared parent
+        cluster so descent is monotone (no exit/re-enter ping-pong).
+        """
+        from collections import deque
+
+        g = self.g0
+        next_hop = np.full(g.n, -1, dtype=np.int64)
+        dist = np.full(g.n, -1, dtype=np.int64)
+        q = deque()
+        for t in targets:
+            ti = int(np.searchsorted(g.node_ids, t))
+            dist[ti] = 0
+            q.append(ti)
+        while q:
+            u = q.popleft()
+            for w in g.neighbors_idx(u):
+                if dist[w] < 0 and (restrict_mask is None or restrict_mask[w]):
+                    dist[w] = dist[u] + 1
+                    next_hop[w] = u
+                    q.append(w)
+        return next_hop
+
+    def _build(self) -> None:
+        h, g = self.h, self.g0
+        ids = g.node_ids
+        intra: dict[int, dict[int, int]] = {int(v): {} for v in ids}
+        clusters: dict[int, dict[tuple[int, int], int]] = {int(v): {} for v in ids}
+
+        # Intra level-1 routes: per member target, next hops for its
+        # cluster peers.
+        if h.num_levels >= 1:
+            anc1 = h.ancestry(1)
+            for c1 in np.unique(anc1):
+                members = ids[anc1 == c1]
+                for target in members.tolist():
+                    nh = self._multi_source_next_hop(np.array([target]))
+                    for m in members.tolist():
+                        if m == target:
+                            continue
+                        mi = int(np.searchsorted(ids, m))
+                        if nh[mi] >= 0:
+                            intra[m][target] = int(ids[nh[mi]])
+
+        # Sibling cluster routes at each level.
+        for k in range(1, h.num_levels + 1):
+            anck = h.ancestry(k)
+            parent_level = min(k + 1, h.num_levels)
+            anc_parent = h.ancestry(parent_level) if k < h.num_levels else None
+            for ck in np.unique(anck):
+                target_members = ids[anck == ck]
+                # Confine routes toward a sibling cluster to the shared
+                # parent's membership; fall back to unrestricted routes
+                # for carriers the confined flood missed (parent subgraph
+                # disconnected).
+                if k < h.num_levels:
+                    some_member = int(target_members[0])
+                    parent = h.cluster_of(some_member, parent_level)
+                    parent_mask = anc_parent == parent
+                    carriers = ids[parent_mask & (anck != ck)]
+                    nh = self._multi_source_next_hop(target_members,
+                                                     restrict_mask=parent_mask)
+                    nh_fallback = None
+                else:
+                    carriers = ids[anck != ck]
+                    nh = self._multi_source_next_hop(target_members)
+                    nh_fallback = nh
+                for v in carriers.tolist():
+                    vi = int(np.searchsorted(ids, v))
+                    hop = nh[vi]
+                    if hop < 0 and nh_fallback is None:
+                        if not hasattr(self, "_nh_cache"):
+                            self._nh_cache = {}
+                        key = (k, int(ck))
+                        cached = self._nh_cache.get(key)
+                        if cached is None:
+                            cached = self._multi_source_next_hop(target_members)
+                            self._nh_cache[key] = cached
+                        hop = cached[vi]
+                    if hop >= 0:
+                        clusters[v][(k, int(ck))] = int(ids[hop])
+
+        self._tables = {
+            int(v): ForwardingTable(node=int(v), intra=intra[int(v)],
+                                    clusters=clusters[int(v)])
+            for v in ids
+        }
+
+    # -- queries --------------------------------------------------------------------
+
+    def table(self, v: int) -> ForwardingTable:
+        """The hierarchical map of node ``v``."""
+        return self._tables[int(v)]
+
+    def table_sizes(self) -> np.ndarray:
+        """Per-node map sizes (the EXP-T9 distribution)."""
+        return np.array([self._tables[int(v)].size for v in self.g0.node_ids])
+
+    # -- forwarding -----------------------------------------------------------------
+
+    def _flood_toward(self, k: int, ck: int) -> np.ndarray:
+        """Unrestricted next-hop array toward the members of cluster
+        (k, ck), cached per target set."""
+        if not hasattr(self, "_nh_cache"):
+            self._nh_cache = {}
+        key = (k, int(ck))
+        cached = self._nh_cache.get(key)
+        if cached is None:
+            targets = self.h.members0(k, int(ck)) if k >= 1 else np.array([ck])
+            cached = self._multi_source_next_hop(targets)
+            self._nh_cache[key] = cached
+        return cached
+
+    def _target(self, at: int, address: tuple[int, ...]) -> tuple[int, int]:
+        """Current routing target from the destination address: the
+        highest diverging cluster component, or (0, dest) for intra
+        level-1 delivery."""
+        h = self.h
+        for k in range(h.num_levels, 0, -1):
+            dest_ck = address[h.num_levels - k]
+            if h.cluster_of(at, k) != dest_ck:
+                return (k, int(dest_ck))
+        return (0, int(address[-1]))
+
+    def forward(self, s: int, d: int, ttl: int | None = None,
+                address: tuple[int, ...] | None = None) -> ForwardResult:
+        """Deliver a packet from ``s`` to ``d`` hop by hop.
+
+        The packet header carries the destination's hierarchical address
+        plus the *current segment target* (k, ck) — the cluster the
+        packet is descending into.  The target is chosen from the
+        current node's map (highest diverging address component) and
+        stays in the header until the packet enters that cluster; relay
+        nodes outside the target's carrier set forward using the
+        target-cluster flood state (gateway cooperation).  Within a
+        segment the BFS distance to the target strictly decreases, and
+        across segments the divergence level strictly decreases, so
+        delivery provably terminates wherever the graph is connected (segments
+        are individually loop-free; descent may re-cross a relay between
+        segments).
+        """
+        h = self.h
+        if address is None:
+            address = h.address(d)
+        else:
+            if address[-1] != d:
+                raise ValueError("address must terminate in the destination id")
+            # A supplied (possibly stale) address may disagree with the
+            # current hierarchy depth; align it at the bottom, padding the
+            # top with its highest component.
+            want = h.num_levels + 1
+            if len(address) > want:
+                address = address[-want:]
+            elif len(address) < want:
+                address = (address[0],) * (want - len(address)) + tuple(address)
+        limit = ttl if ttl is not None else 4 * self.g0.n
+        path = [int(s)]
+        at = int(s)
+        hops = 0
+        while hops < limit:
+            if at == d:
+                return ForwardResult(delivered=True, path=path)
+            k, ck = self._target(at, address)
+            if k == 0:
+                # Final segment: same level-1 cluster as the destination.
+                # Sticky like every other segment — the shortest path may
+                # briefly exit the cluster (clusters need not be
+                # geographically contiguous), and relays honor the
+                # packet's target instead of re-deriving their own.
+                nh = self._flood_toward(0, d)
+                while hops < limit and at != d:
+                    hop_idx = nh[int(np.searchsorted(self.g0.node_ids, at))]
+                    if hop_idx < 0:
+                        return ForwardResult(delivered=False, path=path,
+                                             reason=f"no route at {at}")
+                    at = int(self.g0.node_ids[hop_idx])
+                    path.append(at)
+                    hops += 1
+                continue
+            # Descend into cluster (k, ck): sticky segment.  All hops in
+            # a segment follow one flood's next-hop field, so the BFS
+            # distance to the target set strictly decreases (mixing the
+            # confined per-node routes in would break the monotonicity
+            # argument when parent clusters are not contiguous).
+            nh = self._flood_toward(k, ck)
+            while hops < limit and h.cluster_of(at, k) != ck:
+                hop_idx = nh[int(np.searchsorted(self.g0.node_ids, at))]
+                if hop_idx < 0:
+                    return ForwardResult(delivered=False, path=path,
+                                         reason=f"no route at {at}")
+                nxt = int(self.g0.node_ids[hop_idx])
+                path.append(int(nxt))
+                at = int(nxt)
+                hops += 1
+        return ForwardResult(delivered=(at == d), path=path, reason="ttl")

@@ -1,0 +1,24 @@
+"""Simulation engine: scenario config, time-stepped loop, result views."""
+
+from repro.sim.engine import Simulator, run_scenario
+from repro.sim.hops import BfsHops, EuclideanHops
+from repro.sim.metrics import LevelSeries, SimResult
+from repro.sim.presets import PRESETS, make_scenario
+from repro.sim.rng import spawn_rngs
+from repro.sim.scenario import Scenario
+from repro.sim.trace import EventTrace, TraceEvent
+
+__all__ = [
+    "Simulator",
+    "run_scenario",
+    "BfsHops",
+    "EuclideanHops",
+    "LevelSeries",
+    "SimResult",
+    "spawn_rngs",
+    "PRESETS",
+    "make_scenario",
+    "Scenario",
+    "EventTrace",
+    "TraceEvent",
+]

@@ -1,0 +1,296 @@
+"""The time-stepped MANET simulator.
+
+One step of the pipeline (Section 1.2's model, end to end):
+
+1. mobility advances node positions (random waypoint by default),
+2. the unit-disk graph is rebuilt (k-d tree),
+3. the ALCA hierarchy is re-elected recursively,
+4. the CHLM handoff engine diffs server assignments and meters packets,
+5. trackers record link events (f_0, g_k), ALCA states (p_j), level
+   shapes (alpha_k, |E_k|), and sampled hop counts (h, h_k).
+
+Warmup steps run mobility only, letting the RWP spatial distribution mix
+before metering starts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.state import StateTracker
+from repro.core.accounting import OverheadLedger
+from repro.core.handoff import HandoffEngine
+from repro.graphs import CompactGraph
+from repro.hierarchy.levels import ClusteredHierarchy, build_hierarchy
+from repro.hierarchy.stats import level_hop_counts, mean_hop_count
+from repro.mobility import make_model
+from repro.radio.linkevents import LinkTracker
+from repro.radio.unit_disk import unit_disk_edges
+from repro.sim.hops import BfsHops, EuclideanHops
+from repro.sim.metrics import LevelSeries, SimResult
+from repro.sim.rng import spawn_rngs
+from repro.sim.scenario import Scenario
+
+__all__ = ["Simulator", "run_scenario"]
+
+
+class Simulator:
+    """Executes one :class:`~repro.sim.scenario.Scenario`."""
+
+    def __init__(self, scenario: Scenario, hop_sample_every: int = 25,
+                 trace: bool = False, trace_capacity: int | None = 50_000):
+        self.sc = scenario
+        self.hop_sample_every = max(int(hop_sample_every), 1)
+        self.trace = None
+        if trace:
+            from repro.sim.trace import EventTrace
+
+            self.trace = EventTrace(capacity=trace_capacity)
+        rngs = spawn_rngs(
+            scenario.seed, ["placement", "mobility", "sampling", "failures"]
+        )
+        self._sampling_rng = rngs["sampling"]
+        self._failure_rng = rngs["failures"]
+        # Crash/repair state: time until which each node stays down.
+        self._down_until = np.full(scenario.n, -np.inf)
+        self._now = 0.0
+        # The mobility model also owns initial placement; hand it the
+        # placement stream first so placement is independent of stepping.
+        self.model = make_model(
+            scenario.mobility,
+            scenario.n,
+            scenario.region,
+            scenario.speed,
+            rngs["mobility"],
+            **scenario.mobility_kwargs,
+        )
+        self._maintainer = None
+        if scenario.election_mode == "sticky":
+            from repro.hierarchy.maintain import HierarchyMaintainer
+
+            self._maintainer = HierarchyMaintainer(
+                max_levels=scenario.max_levels,
+                level_mode=scenario.level_mode,
+                r0=scenario.r_tx if scenario.level_mode == "radio" else None,
+            )
+        elif scenario.election_mode == "persistent":
+            from repro.hierarchy.persistent import PersistentHierarchyMaintainer
+
+            self._maintainer = PersistentHierarchyMaintainer(
+                max_levels=scenario.max_levels, r0=scenario.r_tx
+            )
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _advance_failures(self, dt: float) -> None:
+        """Crash up-nodes at the configured rate (crashed nodes keep
+        their identity but lose all links until repaired)."""
+        self._now += dt
+        if self.sc.failure_rate <= 0:
+            return
+        up = self._down_until < self._now
+        p = -np.expm1(-self.sc.failure_rate * dt)
+        crashing = up & (self._failure_rng.random(self.sc.n) < p)
+        if np.any(crashing):
+            self._down_until[crashing] = self._now + self.sc.repair_time
+
+    def _apply_failures(self, edges: np.ndarray) -> np.ndarray:
+        if self.sc.failure_rate <= 0 or edges.size == 0:
+            return edges
+        down = self._down_until >= self._now
+        if not np.any(down):
+            return edges
+        keep = ~(down[edges[:, 0]] | down[edges[:, 1]])
+        return edges[keep]
+
+    def _build(self, positions: np.ndarray):
+        edges = self._apply_failures(unit_disk_edges(positions, self.sc.r_tx))
+        if self._maintainer is not None:
+            if self.sc.election_mode == "persistent":
+                h = self._maintainer.update(
+                    np.arange(self.sc.n), edges, positions=positions
+                )
+            else:
+                h = self._maintainer.update(
+                    np.arange(self.sc.n),
+                    edges,
+                    positions=positions if self.sc.level_mode == "radio" else None,
+                )
+            return edges, h
+        h = build_hierarchy(
+            np.arange(self.sc.n),
+            edges,
+            max_levels=self.sc.max_levels,
+            algorithm=self.sc.clustering,
+            maxmin_d=self.sc.maxmin_d,
+            level_mode=self.sc.level_mode,
+            positions=positions if self.sc.level_mode == "radio" else None,
+            r0=self.sc.r_tx if self.sc.level_mode == "radio" else None,
+        )
+        return edges, h
+
+    def _hop_fn(self, positions: np.ndarray, edges: np.ndarray):
+        if self.sc.resolved_hop_mode == "bfs":
+            return BfsHops(CompactGraph(np.arange(self.sc.n), edges))
+        return EuclideanHops(positions, self.sc.r_tx, self.sc.detour)
+
+    @staticmethod
+    def _level_edge_sets(
+        h: ClusteredHierarchy,
+    ) -> dict[int, tuple[set[tuple[int, int]], set[int]]]:
+        """Per level k >= 1: (edge set, node set)."""
+        return {
+            lvl.k: (
+                {tuple(e) for e in lvl.edges.tolist()},
+                set(lvl.node_ids.tolist()),
+            )
+            for lvl in h.levels
+            if lvl.k >= 1
+        }
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        """Execute warmup then the metered loop; return all collected metrics."""
+        sc = self.sc
+        for _ in range(sc.warmup):
+            self.model.step(sc.dt)
+
+        engine = HandoffEngine(hash_fn=sc.hash_fn)
+        ledger = OverheadLedger(n_nodes=sc.n)
+        link_tracker = LinkTracker(n=sc.n)
+        level_series = LevelSeries()
+        state_trackers: dict[int, StateTracker] = {}
+        h_network: list[float] = []
+        h_levels: dict[int, list[float]] = {}
+        degree_sum = 0.0
+        giant_sum = 0.0
+        giant_samples = 0
+        prev_level_edges: dict[int, set[tuple[int, int]]] | None = None
+
+        # Baseline snapshot (not metered).
+        positions = self.model.positions.copy()
+        edges, hierarchy = self._build(positions)
+        engine.observe(hierarchy, self._hop_fn(positions, edges))
+        link_tracker.observe(edges)
+        prev_level_edges = self._level_edge_sets(hierarchy)
+        self._observe_states(state_trackers, hierarchy)
+        prev_hierarchy = hierarchy
+
+        for step in range(sc.steps):
+            self.model.step(sc.dt)
+            self._advance_failures(sc.dt)
+            positions = self.model.positions.copy()
+            edges, hierarchy = self._build(positions)
+            hop_fn = self._hop_fn(positions, edges)
+
+            report = engine.observe(hierarchy, hop_fn)
+            ledger.record(report, sc.dt)
+            link_tracker.observe(edges)
+            self._observe_states(state_trackers, hierarchy)
+            if self.trace is not None:
+                t = (step + 1) * sc.dt
+                for ev in report.diff.migrations:
+                    if ev.pure:
+                        self.trace.record(
+                            t, "migration", node=ev.node, level=ev.level,
+                            old=ev.old_cluster, new=ev.new_cluster,
+                        )
+                for ev in report.diff.reorgs:
+                    self.trace.record(
+                        t, f"reorg:{ev.kind.value}", level=ev.level,
+                        subject=ev.subject, other=ev.other,
+                    )
+                if report.total_handoff_packets:
+                    self.trace.record(
+                        t, "handoff", phi=report.phi_packets,
+                        gamma=report.gamma_packets,
+                    )
+
+            cur_level_edges = self._level_edge_sets(hierarchy)
+            for k in set(cur_level_edges) | set(prev_level_edges):
+                before, nodes_before = prev_level_edges.get(k, (set(), set()))
+                after, nodes_after = cur_level_edges.get(k, (set(), set()))
+                changed = before ^ after
+                persistent = nodes_before & nodes_after
+                drift = sum(
+                    1 for u, v in changed if u in persistent and v in persistent
+                )
+                level_series.add_link_events(k, len(changed), drift)
+            prev_level_edges = cur_level_edges
+
+            for lvl in hierarchy.levels:
+                level_series.record_level(lvl.k, lvl.n_nodes, lvl.n_edges)
+            for k in range(1, min(prev_hierarchy.num_levels,
+                                  hierarchy.num_levels) + 1):
+                changed = int(
+                    (prev_hierarchy.ancestry(k) != hierarchy.ancestry(k)).sum()
+                )
+                level_series.add_address_changes(k, changed)
+            prev_hierarchy = hierarchy
+            degree_sum += 2.0 * len(edges) / sc.n
+
+            if step % self.hop_sample_every == 0:
+                g = CompactGraph(np.arange(sc.n), edges)
+                h_network.append(mean_hop_count(g, self._sampling_rng, n_sources=8))
+                for k, val in level_hop_counts(
+                    hierarchy, g, self._sampling_rng,
+                    clusters_per_level=6, sources_per_cluster=2,
+                ).items():
+                    if val > 0:
+                        h_levels.setdefault(k, []).append(val)
+                comp_sizes = self._giant_fraction(g)
+                giant_sum += comp_sizes
+                giant_samples += 1
+
+        elapsed = sc.steps * sc.dt
+        return SimResult(
+            scenario=sc,
+            ledger=ledger,
+            f0=link_tracker.events_per_node_per_second(elapsed),
+            level_series=level_series,
+            state_stats={
+                j: t.stats() for j, t in state_trackers.items() if t._samples > 0
+            },
+            h_network=h_network,
+            h_levels=h_levels,
+            mean_degree=degree_sum / sc.steps,
+            giant_fraction=giant_sum / giant_samples if giant_samples else 0.0,
+            elapsed=elapsed,
+            trace=self.trace,
+        )
+
+    @staticmethod
+    def _observe_states(trackers: dict[int, StateTracker], h: ClusteredHierarchy) -> None:
+        for lvl in h.levels:
+            if lvl.election is None:
+                continue
+            trackers.setdefault(lvl.k, StateTracker()).observe(lvl.election)
+
+    @staticmethod
+    def _giant_fraction(g: CompactGraph) -> float:
+        """Largest-component fraction via one BFS sweep."""
+        seen = np.zeros(g.n, dtype=bool)
+        best = 0
+        from collections import deque
+
+        for start in range(g.n):
+            if seen[start]:
+                continue
+            size = 0
+            q = deque([start])
+            seen[start] = True
+            while q:
+                u = q.popleft()
+                size += 1
+                for w in g.neighbors_idx(u):
+                    if not seen[w]:
+                        seen[w] = True
+                        q.append(w)
+            best = max(best, size)
+        return best / g.n
+
+
+def run_scenario(scenario: Scenario, hop_sample_every: int = 25) -> SimResult:
+    """Convenience wrapper: build a simulator and run it."""
+    return Simulator(scenario, hop_sample_every=hop_sample_every).run()

@@ -1,0 +1,169 @@
+"""Simulation scenario configuration.
+
+Defaults follow the paper's model assumptions (Section 1.2): fixed node
+density (area grows with |V|), unit-disk links sized for a constant
+target degree, random-waypoint mobility with zero pause, ALCA clustering
+recursed to the top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.region import DiscRegion, disc_for_density
+from repro.radio.connectivity import radius_for_degree
+
+__all__ = ["Scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Immutable description of one simulation run.
+
+    Parameters
+    ----------
+    n:
+        Node count |V|.
+    density:
+        Nodes per square meter; the disc area is n/density, realizing the
+        paper's fixed-density scaling.
+    target_degree:
+        Expected unit-disk degree; sets R_tx = sqrt(d / (pi * density)).
+        The paper's reference [2] motivates values around 6-9.
+    speed:
+        Node speed mu in m/s (scalar, or (low, high) uniform range).
+    dt:
+        Step duration in seconds.  Should be small enough that a node
+        moves a fraction of R_tx per step (the adjacent-transition regime
+        of Fig. 3).
+    steps:
+        Metered steps (after warmup).
+    warmup:
+        Steps run before metering starts (RWP mixing + baseline).
+    mobility:
+        Mobility registry name ("random_waypoint", "random_direction",
+        "group", "stationary").
+    mobility_kwargs:
+        Extra arguments for the mobility model.
+    clustering:
+        "lca" (paper) or "maxmin" (baseline ablation).
+    maxmin_d:
+        Radius for max-min clustering.
+    max_levels:
+        Cap on hierarchy depth (None: recurse fully, L = Theta(log n)).
+    level_mode:
+        Level-k link construction: "radio" (geometric clusterhead links,
+        the paper's Section 5.3.1 model; default) or "contraction"
+        (cluster-adjacency links; ablation — high-level links flicker).
+    election_mode:
+        "memoryless" re-elects every level from scratch each step (the
+        declarative ALCA reading); "sticky" maintains affiliations with
+        LCC hysteresis across steps (the deployed-protocol reading, see
+        EXP-A1); "persistent" additionally decouples cluster identity
+        from the head role — cids survive head handover (the structural
+        fix EXPERIMENTS.md identifies; see EXP-A5).
+    hash_fn:
+        CHLM hash ("rendezvous" or "naive").
+    hop_mode:
+        "bfs" for exact hop metering, "euclidean" for the fast distance
+        estimator, "auto" to pick by size.
+    detour:
+        Euclidean estimator detour factor (hops ~ detour * dist / R_tx).
+    failure_rate:
+        Per-node crash rate (1/s).  The paper *excludes* node birth and
+        death ("extremely rare"); nonzero rates quantify that excluded
+        factor (EXP-A3).  A crashed node keeps its identity but loses
+        all links until repaired.
+    repair_time:
+        Downtime per crash, in seconds.
+    seed:
+        Root seed for all randomness.
+    """
+
+    n: int = 200
+    density: float = 0.02
+    target_degree: float = 9.0
+    speed: float | tuple[float, float] = 5.0
+    dt: float = 1.0
+    steps: int = 100
+    warmup: int = 10
+    mobility: str = "random_waypoint"
+    mobility_kwargs: dict = field(default_factory=dict)
+    clustering: str = "lca"
+    maxmin_d: int = 2
+    level_mode: str = "radio"
+    election_mode: str = "memoryless"
+    max_levels: int | None = None
+    hash_fn: str = "rendezvous"
+    hop_mode: str = "auto"
+    detour: float = 1.3
+    failure_rate: float = 0.0
+    repair_time: float = 20.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n <= 1:
+            raise ValueError("need at least two nodes")
+        if self.density <= 0:
+            raise ValueError("density must be positive")
+        if self.target_degree <= 0:
+            raise ValueError("target degree must be positive")
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.steps <= 0:
+            raise ValueError("steps must be positive")
+        if self.warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        if self.hop_mode not in ("bfs", "euclidean", "auto"):
+            raise ValueError("hop_mode must be bfs, euclidean, or auto")
+        if self.level_mode not in ("radio", "contraction"):
+            raise ValueError("level_mode must be radio or contraction")
+        if self.election_mode not in ("memoryless", "sticky", "persistent"):
+            raise ValueError(
+                "election_mode must be memoryless, sticky, or persistent"
+            )
+        if self.election_mode != "memoryless" and self.clustering != "lca":
+            raise ValueError("stateful elections require lca clustering")
+        if self.election_mode == "persistent" and self.level_mode != "radio":
+            raise ValueError("persistent clusters require radio level_mode")
+        if self.detour < 1.0:
+            raise ValueError("detour factor must be >= 1")
+        if self.failure_rate < 0:
+            raise ValueError("failure rate must be non-negative")
+        if self.repair_time <= 0:
+            raise ValueError("repair time must be positive")
+
+    # -- derived quantities -------------------------------------------------------
+
+    @property
+    def region(self) -> DiscRegion:
+        """The paper's circular deployment area for this n and density."""
+        return disc_for_density(self.n, self.density)
+
+    @property
+    def r_tx(self) -> float:
+        """Unit-disk transmission radius."""
+        return radius_for_degree(self.target_degree, self.density)
+
+    @property
+    def resolved_hop_mode(self) -> str:
+        """"auto" resolves to exact BFS below 500 nodes."""
+        if self.hop_mode != "auto":
+            return self.hop_mode
+        return "bfs" if self.n <= 500 else "euclidean"
+
+    @property
+    def duration(self) -> float:
+        """Metered simulated time in seconds."""
+        return self.steps * self.dt
+
+    def mean_step_displacement(self) -> float:
+        """Expected node displacement per step, in units of R_tx."""
+        mu = (
+            float(self.speed)
+            if np.isscalar(self.speed)
+            else (self.speed[0] + self.speed[1]) / 2.0
+        )
+        return mu * self.dt / self.r_tx

@@ -1,0 +1,80 @@
+"""Structured event traces.
+
+An optional recorder the simulator fills with one entry per noteworthy
+occurrence — handoff events, elections/rejections, cluster link changes
+— so examples and debugging sessions can replay *why* packets were
+charged.  Traces are plain data (no behavior coupling): the simulator
+works identically with recording off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["TraceEvent", "EventTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace entry."""
+
+    t: float
+    kind: str
+    payload: dict[str, Any]
+
+    def __str__(self) -> str:
+        items = ", ".join(f"{k}={v}" for k, v in sorted(self.payload.items()))
+        return f"[t={self.t:8.2f}] {self.kind:18s} {items}"
+
+
+@dataclass
+class EventTrace:
+    """Append-only event log with filtering and summarization."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    capacity: int | None = None
+    dropped: int = 0
+
+    def record(self, t: float, kind: str, **payload) -> None:
+        """Append one event; silently drops past ``capacity`` (counted)."""
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(t=float(t), kind=str(kind), payload=payload))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def filter(self, kind: str | None = None,
+               t_min: float | None = None,
+               t_max: float | None = None) -> list[TraceEvent]:
+        """Events matching the given kind and/or time window."""
+        out = []
+        for ev in self.events:
+            if kind is not None and ev.kind != kind:
+                continue
+            if t_min is not None and ev.t < t_min:
+                continue
+            if t_max is not None and ev.t > t_max:
+                continue
+            out.append(ev)
+        return out
+
+    def summary(self) -> dict[str, int]:
+        """Event counts by kind."""
+        counts: dict[str, int] = {}
+        for ev in self.events:
+            counts[ev.kind] = counts.get(ev.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_lines(self, limit: int | None = None) -> list[str]:
+        """Human-readable rendering (most recent last)."""
+        evs = self.events if limit is None else self.events[-limit:]
+        lines = [str(ev) for ev in evs]
+        if self.dropped:
+            lines.append(f"... ({self.dropped} events dropped at capacity)")
+        return lines

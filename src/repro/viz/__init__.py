@@ -1,0 +1,5 @@
+"""Visualization: dependency-free SVG renderings of networks/hierarchies."""
+
+from repro.viz.svg import SvgCanvas, render_network_svg
+
+__all__ = ["SvgCanvas", "render_network_svg"]

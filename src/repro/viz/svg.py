@@ -1,0 +1,194 @@
+"""Dependency-free SVG rendering of deployments and hierarchies.
+
+Produces self-contained ``.svg`` files (no matplotlib required) showing
+the Fig. 1 picture for *your* network: level-0 nodes and links, cluster
+hulls per hierarchy level, clusterheads, and optionally a highlighted
+route.  Used by ``examples/visualize_network.py`` and handy when
+debugging clustering behavior.
+
+The renderer is deliberately small: primitives are emitted as plain
+strings, colors cycle per cluster, and coordinates are mapped from
+world space to a fixed canvas with padding.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["SvgCanvas", "render_network_svg"]
+
+_PALETTE = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+    "#76b7b2", "#edc948", "#ff9da7", "#9c755f", "#bab0ac",
+]
+
+
+class SvgCanvas:
+    """Minimal SVG document builder with world-to-canvas mapping."""
+
+    def __init__(self, points: np.ndarray, width: int = 900, padding: int = 30):
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2 or pts.shape[0] == 0:
+            raise ValueError("need a non-empty (n, 2) point set")
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        span = np.maximum(hi - lo, 1e-9)
+        self.width = int(width)
+        self.height = int(width * span[1] / span[0]) + 2 * padding
+        self._lo, self._span, self._pad = lo, span, padding
+        self._scale = (width - 2 * padding) / span[0]
+        self._parts: list[str] = []
+
+    def xy(self, p) -> tuple[float, float]:
+        """Map a world point to canvas coordinates (y flipped)."""
+        p = np.asarray(p, dtype=np.float64).reshape(2)
+        x = self._pad + (p[0] - self._lo[0]) * self._scale
+        y = self.height - self._pad - (p[1] - self._lo[1]) * self._scale
+        return float(x), float(y)
+
+    def line(self, a, b, stroke="#999", width=0.6, opacity=1.0) -> None:
+        """Draw a line between two world points."""
+        x1, y1 = self.xy(a)
+        x2, y2 = self.xy(b)
+        self._parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width}" opacity="{opacity}"/>'
+        )
+
+    def circle(self, center, r=3.0, fill="#333", stroke="none", title=None) -> None:
+        """Draw a dot at a world point (radius in canvas px)."""
+        x, y = self.xy(center)
+        t = f"<title>{title}</title>" if title else ""
+        self._parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r}" fill="{fill}" '
+            f'stroke="{stroke}">{t}</circle>'
+        )
+
+    def polygon(self, world_pts, fill="#ccc", opacity=0.25, stroke="#888") -> None:
+        """Draw a filled polygon through world points."""
+        coords = " ".join(
+            f"{x:.1f},{y:.1f}" for x, y in (self.xy(p) for p in world_pts)
+        )
+        self._parts.append(
+            f'<polygon points="{coords}" fill="{fill}" opacity="{opacity}" '
+            f'stroke="{stroke}" stroke-width="0.8"/>'
+        )
+
+    def text(self, pos, s, size=11, fill="#222") -> None:
+        """Place a text label at a world point."""
+        x, y = self.xy(pos)
+        self._parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'fill="{fill}" font-family="sans-serif">{s}</text>'
+        )
+
+    def to_svg(self) -> str:
+        """Serialize the document."""
+        body = "\n".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="100%" height="100%" fill="white"/>\n{body}\n</svg>\n'
+        )
+
+    def save(self, path) -> Path:
+        """Write the SVG file; returns the path."""
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(self.to_svg())
+        return p
+
+
+def _convex_hull(pts: np.ndarray) -> np.ndarray:
+    """Tiny Andrew-monotone-chain hull (avoids importing scipy here)."""
+    pts = np.unique(np.asarray(pts, dtype=np.float64), axis=0)
+    if len(pts) <= 2:
+        return pts
+    pts = pts[np.lexsort((pts[:, 1], pts[:, 0]))]
+
+    def cross(o, a, b):
+        return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+    lower: list[np.ndarray] = []
+    for p in pts:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: list[np.ndarray] = []
+    for p in pts[::-1]:
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    return np.array(lower[:-1] + upper[:-1])
+
+
+def render_network_svg(
+    positions,
+    edges,
+    hierarchy=None,
+    hull_level: int = 1,
+    route: list[int] | None = None,
+    path=None,
+    width: int = 900,
+) -> str:
+    """Render a deployment (and optionally its hierarchy) to SVG.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` node coordinates (row i = node i).
+    edges:
+        ``(m, 2)`` index pairs (level-0 links).
+    hierarchy:
+        Optional :class:`~repro.hierarchy.ClusteredHierarchy`; when given,
+        level-``hull_level`` cluster hulls are shaded (color per cluster)
+        and clusterheads drawn enlarged.
+    route:
+        Optional node-index path highlighted in red.
+    path:
+        When given, the SVG is also written to this file.
+
+    Returns
+    -------
+    The SVG markup.
+    """
+    pts = np.asarray(positions, dtype=np.float64)
+    canvas = SvgCanvas(pts, width=width)
+
+    if hierarchy is not None:
+        anc = hierarchy.ancestry(min(hull_level, hierarchy.num_levels))
+        for i, cid in enumerate(np.unique(anc).tolist()):
+            members = pts[anc == cid]
+            color = _PALETTE[i % len(_PALETTE)]
+            if len(members) >= 3:
+                canvas.polygon(_convex_hull(members), fill=color)
+            for m in members:
+                canvas.circle(m, r=2.2, fill=color)
+    for a, b in np.asarray(edges, dtype=np.int64).tolist():
+        canvas.line(pts[a], pts[b], stroke="#bbb", width=0.5, opacity=0.7)
+    if hierarchy is None:
+        for i in range(len(pts)):
+            canvas.circle(pts[i], r=2.2, fill="#4e79a7", title=str(i))
+    else:
+        level = min(hull_level, hierarchy.num_levels)
+        if level >= 1:
+            heads = hierarchy.levels[level].node_ids
+            base = hierarchy.levels[0].node_ids
+            for head in heads.tolist():
+                idx = int(np.searchsorted(base, head))
+                if idx < len(base) and base[idx] == head:
+                    canvas.circle(pts[idx], r=5.0, fill="#222",
+                                  title=f"head {head}")
+    if route:
+        for a, b in zip(route, route[1:]):
+            canvas.line(pts[a], pts[b], stroke="#e15759", width=2.2)
+        canvas.circle(pts[route[0]], r=5, fill="#59a14f", title="source")
+        canvas.circle(pts[route[-1]], r=5, fill="#e15759", title="destination")
+
+    svg = canvas.to_svg()
+    if path is not None:
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        Path(path).write_text(svg)
+    return svg

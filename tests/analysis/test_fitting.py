@@ -1,0 +1,112 @@
+"""Tests for shape fitting and model comparison."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import compare_shapes, fit_power, fit_shape
+
+
+class TestFitShape:
+    def test_exact_log2(self):
+        x = np.array([100, 200, 400, 800, 1600], dtype=float)
+        y = 3.0 * np.log(x) ** 2 + 1.5
+        f = fit_shape(x, y, "log2")
+        assert f.a == pytest.approx(3.0)
+        assert f.b == pytest.approx(1.5)
+        assert f.r2 == pytest.approx(1.0)
+
+    def test_exact_sqrt(self):
+        x = np.array([4, 16, 64, 256], dtype=float)
+        y = 2.0 * np.sqrt(x)
+        f = fit_shape(x, y, "sqrt")
+        assert f.a == pytest.approx(2.0)
+        assert f.b == pytest.approx(0.0, abs=1e-9)
+
+    def test_const(self):
+        x = np.array([1, 2, 3], dtype=float)
+        y = np.array([5.0, 5.2, 4.8])
+        f = fit_shape(x, y, "const")
+        assert f.b == pytest.approx(5.0)
+        assert f.a == 0.0
+
+    def test_inv_sqrt(self):
+        x = np.array([1, 4, 16], dtype=float)
+        y = 8.0 / np.sqrt(x)
+        f = fit_shape(x, y, "inv_sqrt")
+        assert f.a == pytest.approx(8.0)
+
+    def test_predict_roundtrip(self):
+        x = np.array([10, 100, 1000], dtype=float)
+        y = np.log(x)
+        f = fit_shape(x, y, "log")
+        assert np.allclose(f.predict(x), y)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_shape([1, 2], [1, 2], "log2")  # too few points
+        with pytest.raises(ValueError):
+            fit_shape([0, 1, 2], [1, 2, 3], "log")  # non-positive x
+        with pytest.raises(ValueError):
+            fit_shape([1, 2, 3], [1, 2, 3], "cubic")  # unknown shape
+        with pytest.raises(ValueError):
+            fit_shape([1, 2, 3], [1, 2], "log")  # shape mismatch
+
+
+class TestCompareShapes:
+    def test_log2_data_prefers_log2(self):
+        x = np.array([100, 200, 400, 800, 1600, 3200], dtype=float)
+        rng = np.random.default_rng(0)
+        y = 2.0 * np.log(x) ** 2 + rng.normal(scale=0.5, size=x.size)
+        best = compare_shapes(x, y)[0]
+        assert best.shape == "log2"
+
+    def test_sqrt_data_prefers_sqrt(self):
+        x = np.array([100, 200, 400, 800, 1600, 3200], dtype=float)
+        rng = np.random.default_rng(1)
+        y = 0.9 * np.sqrt(x) + rng.normal(scale=0.5, size=x.size)
+        best = compare_shapes(x, y)[0]
+        assert best.shape == "sqrt"
+
+    def test_sorted_by_aic(self):
+        x = np.array([10, 100, 1000, 10000], dtype=float)
+        y = np.log(x) ** 2
+        fits = compare_shapes(x, y)
+        aics = [f.aic for f in fits]
+        assert aics == sorted(aics)
+
+
+class TestFitPower:
+    def test_exact_power(self):
+        x = np.array([1, 2, 4, 8], dtype=float)
+        p, c = fit_power(x, 3.0 * x**0.5)
+        assert p == pytest.approx(0.5)
+        assert c == pytest.approx(3.0)
+
+    def test_polylog_has_small_exponent(self):
+        x = np.array([100, 400, 1600, 6400], dtype=float)
+        p, _ = fit_power(x, np.log(x) ** 2)
+        assert 0 < p < 0.4  # far below sqrt's 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power([1, -2], [1, 2])
+        with pytest.raises(ValueError):
+            fit_power([1], [1])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a=st.floats(min_value=0.1, max_value=10),
+    b=st.floats(min_value=-5, max_value=5),
+    shape=st.sampled_from(["log2", "log", "sqrt", "linear"]),
+)
+def test_fit_recovers_exact_coefficients_property(a, b, shape):
+    from repro.analysis import SHAPES
+
+    x = np.array([50, 100, 300, 900, 2700], dtype=float)
+    y = a * SHAPES[shape](x) + b
+    f = fit_shape(x, y, shape)
+    assert f.a == pytest.approx(a, rel=1e-6)
+    assert f.b == pytest.approx(b, abs=1e-6 * max(1, abs(b)) + 1e-6)

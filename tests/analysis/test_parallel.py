@@ -1,0 +1,41 @@
+"""Tests for process-parallel sweeps."""
+
+import pytest
+
+from repro.analysis import parallel_sweep, sweep
+from repro.sim import Scenario
+
+
+BASE = Scenario(n=60, steps=5, warmup=1, speed=1.5, hop_mode="euclidean",
+                max_levels=2)
+METRICS = {"total": lambda r: r.handoff_rate, "f0": lambda r: r.f0}
+
+
+class TestParallelSweep:
+    def test_matches_serial_exactly(self):
+        serial = sweep([60, 90], BASE, METRICS, seeds=(0, 1))
+        parallel = parallel_sweep([60, 90], BASE, METRICS, seeds=(0, 1),
+                                  max_workers=2)
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial, parallel):
+            assert a.n == b.n
+            assert a.values == b.values
+            assert a.stds == b.stds
+
+    def test_empty_metrics_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_sweep([60], BASE, {}, seeds=(0,))
+
+    def test_scenario_hook_applied(self):
+        from dataclasses import replace
+
+        pts = parallel_sweep(
+            [60], BASE, {"f0": lambda r: r.f0}, seeds=(0,),
+            scenario_for=lambda sc, n: replace(sc, max_levels=1),
+            max_workers=1,
+        )
+        assert pts[0]["f0"] >= 0
+
+    def test_single_worker(self):
+        pts = parallel_sweep([60], BASE, METRICS, seeds=(0,), max_workers=1)
+        assert pts[0].seeds == 1

@@ -1,0 +1,28 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.analysis import generate_report
+
+
+class TestGenerateReport:
+    def test_subset_renders_tables(self):
+        text = generate_report(exp_ids=["EXP-F1"], seeds=(0,))
+        assert "# Reproduction report" in text
+        assert "## EXP-F1" in text
+        assert "| level |" in text
+        assert "- L = " in text  # notes rendered as bullets
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            generate_report(exp_ids=["EXP-Z1"])
+
+    def test_writes_file(self, tmp_path):
+        out = tmp_path / "sub" / "report.md"
+        text = generate_report(exp_ids=["EXP-F2"], seeds=(0,), out_path=out)
+        assert out.exists()
+        assert out.read_text() == text
+
+    def test_multiple_experiments_ordered(self):
+        text = generate_report(exp_ids=["EXP-F2", "EXP-F1"], seeds=(0,))
+        assert text.index("EXP-F2") < text.index("EXP-F1")

@@ -1,0 +1,105 @@
+"""Tests for the closed-form theory functions (Eqs. 3-14)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    edges_per_node_prediction,
+    expected_levels,
+    f0_prediction,
+    f_k_prediction,
+    g_prime_k_prediction,
+    gamma_k_prediction,
+    hop_count_level,
+    hop_count_network,
+    levels_for,
+    migration_distance,
+    phi_k_prediction,
+    phi_total_prediction,
+)
+
+
+class TestHopCounts:
+    def test_network_sqrt_scaling(self):
+        h = hop_count_network([100, 400])
+        assert h[1] == pytest.approx(2 * h[0])
+
+    def test_level_sqrt_scaling(self):
+        h = hop_count_level([4, 16])
+        assert h.tolist() == [2.0, 4.0]
+
+
+class TestFrequencies:
+    def test_f0_independent_of_n(self):
+        """Eq. (4): f_0 depends only on mu / R_tx."""
+        assert f0_prediction(2.0, 10.0) == pytest.approx(0.2)
+
+    def test_f0_validation(self):
+        with pytest.raises(ValueError):
+            f0_prediction(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            f0_prediction(1.0, 0.0)
+
+    def test_f_k_inverse_h(self):
+        f = f_k_prediction(1.0, [1.0, 2.0, 4.0])
+        assert f.tolist() == [1.0, 0.5, 0.25]
+
+    def test_f_k_validation(self):
+        with pytest.raises(ValueError):
+            f_k_prediction(1.0, [0.0])
+
+    def test_g_prime_inverse_h(self):
+        g = g_prime_k_prediction([2.0, 4.0])
+        assert g.tolist() == [0.5, 0.25]
+
+
+class TestOverheadPredictions:
+    def test_phi_k_collapses_to_log(self):
+        """With f_k = f0/h_k, phi_k = f0 * log n regardless of level."""
+        n = 1000
+        h_k = np.array([2.0, 5.0, 12.0])
+        f_k = f_k_prediction(1.0, h_k)
+        phi = phi_k_prediction(f_k, h_k, n)
+        assert np.allclose(phi, np.log(n))
+
+    def test_phi_total_log2(self):
+        v = phi_total_prediction([np.e**2])
+        assert v[0] == pytest.approx(4.0)
+
+    def test_gamma_k_formula(self):
+        # Eq. (10a) with g_k = 1/(c_k h_k): gamma_k = log n.
+        n = 500
+        c_k = np.array([4.0, 16.0])
+        h_k = np.sqrt(c_k)
+        g_k = 1.0 / (c_k * h_k)
+        gamma = gamma_k_prediction(g_k, c_k, h_k, n)
+        assert np.allclose(gamma, np.log(n))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            phi_k_prediction([1.0], [1.0], 1)
+        with pytest.raises(ValueError):
+            gamma_k_prediction([1.0], [1.0], [1.0], 0)
+
+
+class TestStructure:
+    def test_edges_per_node(self):
+        # Eq. (13b): d_k / (2 c_k).
+        v = edges_per_node_prediction([6.0], [3.0])
+        assert v[0] == pytest.approx(1.0)
+
+    def test_migration_distance(self):
+        d = migration_distance(10.0, [4.0])
+        assert d[0] == pytest.approx(20.0)
+        with pytest.raises(ValueError):
+            migration_distance(0.0, [4.0])
+
+    def test_expected_levels(self):
+        assert expected_levels(216, 6.0) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            expected_levels(216, 1.0)
+
+    def test_levels_for(self):
+        assert levels_for(216, alpha=6.0) == 3
+        assert levels_for(10, alpha=6.0) == 2  # floor at minimum
+        assert levels_for(10, alpha=6.0, minimum=1) == 1

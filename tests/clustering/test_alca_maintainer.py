@@ -1,0 +1,163 @@
+"""Tests for event-driven ALCA maintenance (LCC hysteresis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import AlcaMaintainer, elect
+from repro.geometry import DiscRegion
+from repro.radio import unit_disk_edges
+
+
+def E(pairs):
+    return np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+
+
+def check_valid_clustering(snapshot, edges):
+    """Every member must be adjacent to its head; heads anchor self."""
+    adj = {int(v): set() for v in snapshot.node_ids}
+    for a, b in np.asarray(edges).reshape(-1, 2).tolist():
+        adj[a].add(b)
+        adj[b].add(a)
+    for i, v in enumerate(snapshot.node_ids.tolist()):
+        h = int(snapshot.member_of[i])
+        assert h == v or h in adj[v], f"{v} not adjacent to head {h}"
+    for h in snapshot.clusterheads.tolist():
+        j = int(np.searchsorted(snapshot.node_ids, h))
+        assert snapshot.member_of[j] == h, "head must anchor its own cluster"
+
+
+class TestFirstUpdate:
+    def test_matches_lca_on_fresh_state(self):
+        """With no prior state, maintenance elects like the one-shot LCA
+        in simple topologies."""
+        m = AlcaMaintainer()
+        snap = m.update([1, 2, 3], E([[1, 2], [2, 3]]))
+        check_valid_clustering(snap, E([[1, 2], [2, 3]]))
+        assert 3 in snap.clusterheads.tolist()
+
+    def test_single_node(self):
+        m = AlcaMaintainer()
+        snap = m.update([7], np.empty((0, 2), dtype=np.int64))
+        assert snap.clusterheads.tolist() == [7]
+
+    def test_validation(self):
+        m = AlcaMaintainer()
+        with pytest.raises(ValueError):
+            m.update([], np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            m.update([1, 2], E([[1, 1]]))
+        with pytest.raises(ValueError):
+            m.update([1, 2], E([[1, 9]]))
+
+
+class TestStickiness:
+    def test_member_keeps_head_in_range(self):
+        """The hysteresis property: a valid affiliation never changes,
+        even if a larger node enters the neighborhood."""
+        m = AlcaMaintainer()
+        m.update([1, 5], E([[1, 5]]))  # 1 joins head 5
+        assert m.head_map[1] == 5
+        # Node 9 appears adjacent to 1 — memoryless LCA would re-elect 9.
+        snap = m.update([1, 5, 9], E([[1, 5], [1, 9]]))
+        assert m.head_map[1] == 5  # sticky: 5 still in range and a head
+        check_valid_clustering(snap, E([[1, 5], [1, 9]]))
+
+    def test_forced_reelection_on_head_loss(self):
+        m = AlcaMaintainer()
+        m.update([1, 5], E([[1, 5]]))
+        # Link 1-5 breaks; 1 is alone -> becomes own head.
+        snap = m.update([1, 5], np.empty((0, 2), dtype=np.int64))
+        assert m.head_map[1] == 1
+        check_valid_clustering(snap, np.empty((0, 2)))
+
+    def test_joins_existing_head_first(self):
+        m = AlcaMaintainer()
+        m.update([1, 5, 9], E([[1, 5], [9, 5]]))  # both join 5? 9>5...
+        # Whatever the initial state, move 1 next to an existing head and
+        # break its current link: it must join that head, not elect anew.
+        m2 = AlcaMaintainer()
+        m2.update([1, 2, 9], E([[1, 2], [2, 9]]))
+        # initial: 2 joins 9; 1's closed nbhd {1,2}: if no head in range,
+        # promotes 2? 2 is not a head (member of 9)... fresh election
+        # promotes max(1,2)=2, but rule 2 prefers in-range heads (none).
+        heads = {v for v, h in m2.head_map.items() if v == h}
+        assert heads  # some valid head structure exists
+        snap = m2.update([1, 2, 9], E([[1, 9], [2, 9]]))
+        assert m2.head_map[1] == 9 or m2.head_map[1] in heads
+        check_valid_clustering(snap, E([[1, 9], [2, 9]]))
+
+    def test_head_contention_lower_abdicates_when_covered(self):
+        m = AlcaMaintainer()
+        m.update([1, 5, 2, 9], E([[1, 5], [2, 9]]))  # heads 5 and 9
+        assert m.head_map[5] == 5 and m.head_map[9] == 9
+        # Heads meet AND 5's member can reach 9: 5 must abdicate.
+        edges = E([[1, 5], [2, 9], [5, 9], [1, 9]])
+        snap = m.update([1, 5, 2, 9], edges)
+        assert m.head_map[9] == 9
+        assert m.head_map[5] == 9
+        assert m.head_map[1] == 9
+        check_valid_clustering(snap, edges)
+
+    def test_head_contention_kept_when_member_uncovered(self):
+        """Least-cluster-change: a head whose member has no alternative
+        coverage keeps its role even next to a bigger head."""
+        m = AlcaMaintainer()
+        m.update([1, 5, 2, 9], E([[1, 5], [2, 9]]))
+        edges = E([[1, 5], [2, 9], [5, 9]])  # 1 can only reach 5
+        snap = m.update([1, 5, 2, 9], edges)
+        assert m.head_map[5] == 5
+        assert m.head_map[1] == 5
+        check_valid_clustering(snap, edges)
+
+    def test_node_churn_tolerated(self):
+        m = AlcaMaintainer()
+        m.update([1, 5], E([[1, 5]]))
+        snap = m.update([5, 9], E([[5, 9]]))  # 1 left, 9 arrived
+        assert set(snap.node_ids.tolist()) == {5, 9}
+        check_valid_clustering(snap, E([[5, 9]]))
+
+
+class TestStabilityVsMemoryless:
+    def test_fewer_head_changes_under_jitter(self):
+        """Small positional jitter should flip far fewer heads under
+        sticky maintenance than under per-snapshot re-election."""
+        rng = np.random.default_rng(0)
+        region = DiscRegion(60.0)
+        pts = region.sample(150, rng)
+        maintainer = AlcaMaintainer()
+        sticky_changes = memoryless_changes = 0
+        prev_sticky = prev_memoryless = None
+        for _ in range(20):
+            pts = region.clamp(pts + rng.normal(scale=0.8, size=pts.shape))
+            edges = unit_disk_edges(pts, 12.0)
+            snap_s = maintainer.update(np.arange(150), edges)
+            snap_m = elect(np.arange(150), edges)
+            heads_s = set(snap_s.clusterheads.tolist())
+            heads_m = set(snap_m.clusterheads.tolist())
+            if prev_sticky is not None:
+                sticky_changes += len(heads_s ^ prev_sticky)
+                memoryless_changes += len(heads_m ^ prev_memoryless)
+            prev_sticky, prev_memoryless = heads_s, heads_m
+        assert sticky_changes < memoryless_changes
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_maintenance_invariants_property(seed):
+    """Across random mobile sequences the clustering stays valid."""
+    rng = np.random.default_rng(seed)
+    region = DiscRegion(30.0)
+    pts = region.sample(40, rng)
+    m = AlcaMaintainer()
+    for _ in range(6):
+        pts = region.clamp(pts + rng.normal(scale=2.0, size=pts.shape))
+        edges = unit_disk_edges(pts, 12.0)
+        snap = m.update(np.arange(40), edges)
+        check_valid_clustering(snap, edges)
+        # Partition covers all nodes.
+        members = sorted(
+            int(x) for ms in snap.clusters().values() for x in ms
+        )
+        assert members == list(range(40))

@@ -1,0 +1,105 @@
+"""Tests for max-min d-cluster formation (Amis et al. baseline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import maxmin_cluster
+from repro.geometry import DiscRegion
+from repro.graphs import CompactGraph, bfs_distances
+from repro.radio import unit_disk_edges
+
+
+class TestBasics:
+    def test_single_node(self):
+        r = maxmin_cluster([3], np.empty((0, 2)), d=1)
+        assert r.clusterheads.tolist() == [3]
+        assert r.head_choice.tolist() == [3]
+
+    def test_pair_d1(self):
+        r = maxmin_cluster([1, 2], [[1, 2]], d=1)
+        # floodmax: both see 2. floodmin: both see 2.  Node 2 heard its
+        # own id -> head; node 1 pairs on {2} -> head 2.
+        assert r.clusterheads.tolist() == [2]
+        assert r.head_choice.tolist() == [2, 2]
+
+    def test_chain_d2(self):
+        ids = [1, 2, 3, 4, 5]
+        edges = [[1, 2], [2, 3], [3, 4], [4, 5]]
+        r = maxmin_cluster(ids, edges, d=2)
+        # Node 5 must be a head (global max); every node within 2 hops of
+        # its chosen head.
+        assert 5 in r.clusterheads.tolist()
+        g = CompactGraph(ids, edges)
+        for i, v in enumerate(r.node_ids.tolist()):
+            dist = bfs_distances(g, v)
+            head_idx = int(np.searchsorted(g.node_ids, r.head_choice[i]))
+            assert 0 <= dist[head_idx] <= 2
+
+    def test_invalid_d(self):
+        with pytest.raises(ValueError):
+            maxmin_cluster([1, 2], [[1, 2]], d=0)
+
+    def test_invalid_edges(self):
+        with pytest.raises(ValueError):
+            maxmin_cluster([1, 2], [[1, 1]])
+        with pytest.raises(ValueError):
+            maxmin_cluster([1, 2], [[1, 9]])
+
+    def test_empty_nodes(self):
+        with pytest.raises(ValueError):
+            maxmin_cluster([], np.empty((0, 2)))
+
+    def test_clusters_partition(self):
+        ids = list(range(10))
+        edges = [[i, i + 1] for i in range(9)]
+        r = maxmin_cluster(ids, edges, d=2)
+        clusters = r.clusters()
+        members = sorted(int(m) for ms in clusters.values() for m in ms)
+        assert members == ids
+
+    def test_round_logs_shape(self):
+        r = maxmin_cluster([1, 2, 3], [[1, 2], [2, 3]], d=3)
+        assert r.floodmax.shape == (3, 3)
+        assert r.floodmin.shape == (3, 3)
+        # floodmax values are non-decreasing across rounds.
+        assert (np.diff(r.floodmax, axis=1) >= 0).all()
+        # floodmin values are non-increasing across rounds.
+        assert (np.diff(r.floodmin, axis=1) <= 0).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n=st.integers(2, 50),
+    d=st.integers(1, 3),
+)
+def test_maxmin_invariants_property(seed, n, d):
+    """Every node's chosen head lies within d hops (or the node is in a
+    component whose head is itself); the global max of each connected
+    component is always a clusterhead."""
+    rng = np.random.default_rng(seed)
+    pts = DiscRegion(1.0).sample(n, rng)
+    edges = unit_disk_edges(pts, 0.5)
+    ids = np.arange(n)
+    r = maxmin_cluster(ids, edges, d=d)
+    g = CompactGraph(ids, edges)
+
+    for i in range(n):
+        dist = bfs_distances(g, i)
+        head = int(r.head_choice[i])
+        assert dist[head] != -1, "head must be reachable"
+        assert dist[head] <= d, f"head {head} is {dist[head]} hops from {i}"
+
+    # Component maxima are heads: the max's floodmax value stays its own
+    # id, so rule 1 applies.
+    seen = set()
+    for i in range(n):
+        if i in seen:
+            continue
+        dist = bfs_distances(g, i)
+        comp = [j for j in range(n) if dist[j] >= 0]
+        seen.update(comp)
+        comp_max = max(comp)
+        assert comp_max in r.clusterheads.tolist()

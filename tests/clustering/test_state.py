@@ -1,0 +1,105 @@
+"""Tests for the ALCA state machine tracker and Eq. (15)-(21) quantities."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import StateTracker, elect, recursion_quantities
+
+
+def snapshot(ids, edges):
+    return elect(ids, np.asarray(edges).reshape(-1, 2))
+
+
+class TestStateTracker:
+    def test_requires_observations(self):
+        with pytest.raises(ValueError):
+            StateTracker().stats()
+
+    def test_occupancy_single_snapshot(self):
+        t = StateTracker()
+        # Pair 1-2: node 2 in state 1, node 1 in state 0.
+        t.observe(snapshot([1, 2], [[1, 2]]))
+        s = t.stats()
+        assert s.occupancy[0] == pytest.approx(0.5)
+        assert s.occupancy[1] == pytest.approx(0.5)
+        assert s.p_state1 == pytest.approx(0.5)
+        assert s.samples == 2
+
+    def test_transition_detection(self):
+        t = StateTracker()
+        # Step 1: 1-9 linked; state(9) = 1.
+        t.observe(snapshot([1, 2, 9], [[1, 9]]))
+        # Step 2: both 1 and 2 elect 9; state(9) = 2 (one +1 transition).
+        t.observe(snapshot([1, 2, 9], [[1, 9], [2, 9]]))
+        s = t.stats()
+        assert s.transition_histogram.get(1, 0) >= 1
+
+    def test_critical_crossing_counted(self):
+        t = StateTracker()
+        t.observe(snapshot([1, 2, 3], [[1, 3]]))  # 2 isolated: state(3)=1
+        t.observe(snapshot([1, 2, 3], [[1, 2]]))  # now 3 isolated: 3 drops to 0
+        s = t.stats()
+        # 3 crossed 1 -> 0 and 2 crossed 0 -> 1.
+        assert s.critical_crossings == 2
+
+    def test_node_churn_tolerated(self):
+        t = StateTracker()
+        t.observe(snapshot([1, 2], [[1, 2]]))
+        t.observe(snapshot([2, 3], [[2, 3]]))  # node 1 left, node 3 joined
+        s = t.stats()
+        assert s.samples == 4
+
+    def test_series_recording(self):
+        t = StateTracker(record_series=True)
+        t.observe(snapshot([1, 2], [[1, 2]]))
+        t.observe(snapshot([1, 2], [[1, 2]]))
+        assert len(t.series) == 2
+
+    def test_p_state1_heads(self):
+        t = StateTracker()
+        # Star 1,2,3 -> 9: state(9) = 3; others 0.
+        t.observe(snapshot([1, 2, 3, 9], [[1, 9], [2, 9], [3, 9]]))
+        s = t.stats()
+        assert s.p_state1_heads == 0.0  # the only head is in state 3
+        assert s.occupancy[3] == pytest.approx(0.25)
+
+
+class TestRecursionQuantities:
+    def test_uniform_p(self):
+        """With p_j = p for all j, Eq. (15a) gives q_1 = (1-p)*p and
+        Q = sum; the q1/Q lower bound must hold."""
+        p = 0.3
+        k = 5
+        rq = recursion_quantities([p] * k, k)
+        assert rq.p == pytest.approx(p)
+        assert rq.q[0] == pytest.approx((1 - p) * p)
+        # q_{k-1} has no (1-p) factor.
+        assert rq.q[-1] == pytest.approx(p ** (k - 1))
+        assert rq.Q <= rq.P + 1e-12  # Eq. (21a): P >= Q
+        assert rq.q1_over_Q >= rq.q1_over_Q_lower_bound - 1e-12  # Eq. (21b)
+
+    def test_k2_single_stage(self):
+        rq = recursion_quantities([0.5, 0.4], 2)
+        # k=2: only j=1 = k-1 -> q_1 = p_{k-1} = p_1 with no (1-p) factor.
+        assert rq.q.shape == (1,)
+        assert rq.q[0] == pytest.approx(0.4)
+        assert rq.Q == pytest.approx(0.4)
+
+    def test_q_sums_to_valid_probability_mass(self):
+        rq = recursion_quantities([0.2, 0.5, 0.3, 0.4, 0.25], 5)
+        assert 0 <= rq.Q <= 1 + 1e-12
+        assert (rq.q >= 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recursion_quantities([0.5, 0.5], 1)
+        with pytest.raises(ValueError):
+            recursion_quantities([0.5], 2)
+        with pytest.raises(ValueError):
+            recursion_quantities([0.5, 1.5], 2)
+
+    def test_eq22_positive_q1(self):
+        """Eq. (22): q_1 bounded away from 0 when the p_j are moderate."""
+        for k in range(2, 8):
+            rq = recursion_quantities([0.35] * k, k)
+            assert rq.q[0] > 0.2  # (1-0.35)*0.35 = 0.2275 for k > 2

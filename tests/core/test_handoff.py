@@ -1,0 +1,146 @@
+"""Tests for the handoff engine and overhead ledger."""
+
+import numpy as np
+import pytest
+
+from repro.core import HandoffEngine, OverheadLedger
+from repro.geometry import disc_for_density
+from repro.hierarchy import build_hierarchy
+from repro.radio import radius_for_degree, unit_disk_edges
+
+
+def unit_hops(u, v):
+    """Hop stub: every transfer costs 1 packet (u != v)."""
+    return 0 if u == v else 1
+
+
+def make_hierarchy(pts, r):
+    edges = unit_disk_edges(pts, r)
+    return build_hierarchy(np.arange(len(pts)), edges)
+
+
+@pytest.fixture
+def mobile_run():
+    """A 120-node RWP run yielding a few hierarchy snapshots."""
+    from repro.mobility import RandomWaypoint
+
+    density = 0.02
+    n = 120
+    region = disc_for_density(n, density)
+    rng = np.random.default_rng(0)
+    model = RandomWaypoint(n, region, 8.0, rng)
+    r = radius_for_degree(9.0, density)
+    snaps = [make_hierarchy(model.positions.copy(), r)]
+    for _ in range(6):
+        model.step(1.0)
+        snaps.append(make_hierarchy(model.positions.copy(), r))
+    return snaps
+
+
+class TestHandoffEngine:
+    def test_first_observation_free(self, mobile_run):
+        eng = HandoffEngine()
+        rep = eng.observe(mobile_run[0], unit_hops)
+        assert rep.total_handoff_packets == 0
+        assert eng.assignment is not None
+
+    def test_identical_snapshot_free(self, mobile_run):
+        eng = HandoffEngine()
+        eng.observe(mobile_run[0], unit_hops)
+        rep = eng.observe(mobile_run[0], unit_hops)
+        assert rep.total_handoff_packets == 0
+        assert rep.registration_events == 0
+
+    def test_mobility_produces_handoff(self, mobile_run):
+        eng = HandoffEngine()
+        total = 0
+        for h in mobile_run:
+            rep = eng.observe(h, unit_hops)
+            total += rep.total_handoff_packets
+        assert total > 0
+
+    def test_entry_conservation(self, mobile_run):
+        """Every metered entry transfer corresponds to an actual change
+        in the assignment mapping."""
+        eng = HandoffEngine()
+        prev = None
+        for h in mobile_run:
+            rep = eng.observe(h, unit_hops)
+            cur = eng.assignment.servers
+            if prev is not None:
+                changed = sum(
+                    1
+                    for k in set(prev) | set(cur)
+                    if prev.get(k) != cur.get(k) and cur.get(k) is not None
+                )
+                metered = (
+                    sum(rep.migration_entries.values())
+                    + sum(rep.reorg_entries.values())
+                )
+                assert metered == changed
+            prev = dict(cur)
+
+    def test_migration_and_reorg_disjoint(self, mobile_run):
+        """phi and gamma partition the handoff packets."""
+        eng = HandoffEngine()
+        for h in mobile_run:
+            rep = eng.observe(h, unit_hops)
+            assert rep.total_handoff_packets == rep.phi_packets + rep.gamma_packets
+
+    def test_naive_hash_engine(self, mobile_run):
+        eng = HandoffEngine(hash_fn="naive")
+        for h in mobile_run[:3]:
+            eng.observe(h, unit_hops)
+        assert eng.assignment is not None
+
+
+class TestStationaryControl:
+    def test_static_network_zero_overhead(self):
+        """The mu = 0 control: no motion, no handoff, no registration."""
+        density = 0.02
+        n = 100
+        region = disc_for_density(n, density)
+        rng = np.random.default_rng(1)
+        pts = region.sample(n, rng)
+        h = make_hierarchy(pts, radius_for_degree(9.0, density))
+        eng = HandoffEngine()
+        eng.observe(h, unit_hops)
+        for _ in range(3):
+            rep = eng.observe(h, unit_hops)
+            assert rep.total_handoff_packets == 0
+            assert sum(rep.registration_packets.values()) == 0
+
+
+class TestOverheadLedger:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OverheadLedger(n_nodes=0)
+
+    def test_rates(self, mobile_run):
+        eng = HandoffEngine()
+        ledger = OverheadLedger(n_nodes=120)
+        for h in mobile_run:
+            rep = eng.observe(h, unit_hops)
+            ledger.record(rep, dt=1.0)
+        assert ledger.elapsed == pytest.approx(7.0)
+        assert ledger.handoff_rate == pytest.approx(ledger.phi + ledger.gamma)
+        # Per-level rates sum to the total.
+        assert sum(ledger.phi_k().values()) == pytest.approx(ledger.phi)
+        assert sum(ledger.gamma_k().values()) == pytest.approx(ledger.gamma)
+
+    def test_record_validation(self, mobile_run):
+        ledger = OverheadLedger(n_nodes=10)
+        eng = HandoffEngine()
+        rep = eng.observe(mobile_run[0], unit_hops)
+        with pytest.raises(ValueError):
+            ledger.record(rep, dt=0.0)
+
+    def test_event_rates_exposed(self, mobile_run):
+        eng = HandoffEngine()
+        ledger = OverheadLedger(n_nodes=120)
+        for h in mobile_run:
+            ledger.record(eng.observe(h, unit_hops), dt=1.0)
+        fk = ledger.f_k()
+        assert all(v >= 0 for v in fk.values())
+        rates = ledger.reorg_event_rates()
+        assert all(v >= 0 for v in rates.values())

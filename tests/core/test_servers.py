@@ -1,0 +1,124 @@
+"""Tests for CHLM server selection (Section 3.2 descent)."""
+
+import numpy as np
+import pytest
+
+from repro.core import full_assignment, lm_levels, select_server
+from repro.geometry import disc_for_density
+from repro.hierarchy import build_hierarchy
+from repro.radio import radius_for_degree, unit_disk_edges
+
+
+def make_hierarchy(n, seed=0, density=0.02, degree=9.0):
+    region = disc_for_density(n, density)
+    rng = np.random.default_rng(seed)
+    pts = region.sample(n, rng)
+    edges = unit_disk_edges(pts, radius_for_degree(degree, density))
+    return build_hierarchy(np.arange(n), edges)
+
+
+@pytest.fixture(scope="module")
+def h300():
+    h = make_hierarchy(300, seed=1)
+    assert h.num_levels >= 2
+    return h
+
+
+class TestSelectServer:
+    def test_server_inside_subjects_cluster(self, h300):
+        """The level-k server must be a physical node of the subject's
+        level-k cluster — that is the whole point of the placement."""
+        for subject in range(0, 300, 29):
+            for level in range(2, h300.num_levels + 1):
+                srv = select_server(h300, subject, level)
+                assert srv is not None
+                members = h300.members0(level, h300.cluster_of(subject, level))
+                assert srv in members.tolist()
+
+    def test_global_level_server(self, h300):
+        """The virtual global level (L+1) serves every subject from the
+        whole network (the paper's single top cluster, capped-L form)."""
+        top = lm_levels(h300)
+        assert top == h300.num_levels + 1
+        srv = select_server(h300, 0, top)
+        assert srv is not None
+        assert 0 <= srv < 300
+        assert select_server(h300, 0, top + 1) is None
+
+    def test_level_validation(self, h300):
+        with pytest.raises(ValueError):
+            select_server(h300, 0, 1)
+        assert select_server(h300, 0, h300.num_levels + 2) is None
+
+    def test_deterministic(self, h300):
+        assert select_server(h300, 42, 2) == select_server(h300, 42, 2)
+
+    def test_unknown_hash(self, h300):
+        with pytest.raises(ValueError):
+            select_server(h300, 0, 2, hash_fn="md5")
+
+    def test_naive_hash_works(self, h300):
+        srv = select_server(h300, 10, 2, hash_fn="naive")
+        members = h300.members0(2, h300.cluster_of(10, 2))
+        assert srv in members.tolist()
+
+
+class TestFullAssignment:
+    def test_matches_scalar_descent(self, h300):
+        a = full_assignment(h300)
+        for subject in range(0, 300, 41):
+            for level in range(2, lm_levels(h300) + 1):
+                assert a.servers[(subject, level)] == select_server(
+                    h300, subject, level
+                )
+
+    def test_complete_coverage(self, h300):
+        a = full_assignment(h300)
+        # Levels 2..L plus the virtual global level: L entries each.
+        expected = 300 * h300.num_levels
+        assert len(a.servers) == expected
+
+    def test_shallow_hierarchy_has_global_level_only(self):
+        h = build_hierarchy([1, 2], [[1, 2]])
+        assert h.num_levels == 1
+        a = full_assignment(h)
+        # Only the virtual global level (level 2) exists.
+        assert set(lvl for _, lvl in a.servers) == {2}
+        assert len(a.servers) == 2
+
+    def test_load_is_logarithmic_scale(self, h300):
+        """Each node serves Theta(log|V|) entries on average (Section
+        3.2's closing observation): total entries = n*(L-1), so the mean
+        over nodes is L-1; the max should stay within a small factor."""
+        a = full_assignment(h300)
+        load = a.load()
+        total = sum(load.values())
+        assert total == 300 * h300.num_levels
+        mean = total / 300
+        assert max(load.values()) < mean * 30
+
+    def test_servers_of(self, h300):
+        a = full_assignment(h300)
+        per_level = a.servers_of(7)
+        assert set(per_level) == set(range(2, lm_levels(h300) + 1))
+
+    def test_entries_served_by(self, h300):
+        a = full_assignment(h300)
+        some_server = next(iter(a.servers.values()))
+        entries = a.entries_served_by(some_server)
+        assert all(a.servers[k] == some_server for k in entries)
+        assert entries
+
+    def test_naive_assignment_runs(self, h300):
+        a = full_assignment(h300, hash_fn="naive")
+        assert len(a.servers) == 300 * h300.num_levels
+
+
+class TestLoadBalanceComparison:
+    def test_rendezvous_beats_naive(self):
+        """EXP-T7 kernel: rendezvous max-load should be well below the
+        naive Eq. (5) hash's max-load on the same hierarchy."""
+        h = make_hierarchy(500, seed=3)
+        ren = full_assignment(h, "rendezvous").load()
+        nai = full_assignment(h, "naive").load()
+        assert max(ren.values()) < max(nai.values())

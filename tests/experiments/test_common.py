@@ -1,0 +1,58 @@
+"""Tests for the experiment result container."""
+
+import pytest
+
+from repro.experiments import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult(
+        exp_id="EXP-X", title="demo", columns=["n", "value"]
+    )
+    r.add_row(100, 1.2345)
+    r.add_row(200, 0.0001234)
+    r.add_note("a note")
+    return r
+
+
+class TestExperimentResult:
+    def test_row_arity_checked(self, result):
+        with pytest.raises(ValueError):
+            result.add_row(1, 2, 3)
+
+    def test_to_text_contains_everything(self, result):
+        text = result.to_text()
+        assert "EXP-X" in text
+        assert "demo" in text
+        assert "100" in text
+        assert "a note" in text
+
+    def test_alignment(self, result):
+        lines = result.to_text().splitlines()
+        header = lines[1]
+        assert header.startswith("n")
+        # All data lines at least as wide as their content columns.
+        assert len(lines) >= 5
+
+    def test_small_floats_compact(self, result):
+        text = result.to_text()
+        assert "0.000123" in text  # 3 significant digits
+
+    def test_empty_table_renders(self):
+        r = ExperimentResult(exp_id="E", title="t", columns=["a"])
+        text = r.to_text()
+        assert "a" in text
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        from repro.experiments import ALL_EXPERIMENTS
+
+        expected = (
+            {f"EXP-F{i}" for i in range(1, 4)}
+            | {f"EXP-T{i}" for i in range(1, 11)}
+            | {f"EXP-A{i}" for i in range(1, 10)}
+        )
+        assert set(ALL_EXPERIMENTS) == expected
+        assert all(callable(fn) for fn in ALL_EXPERIMENTS.values())

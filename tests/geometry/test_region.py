@@ -1,0 +1,137 @@
+"""Unit and property tests for deployment regions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    DiscRegion,
+    SquareRegion,
+    disc_for_density,
+    square_for_density,
+)
+
+
+class TestDiscRegion:
+    def test_area(self):
+        disc = DiscRegion(2.0)
+        assert disc.area == pytest.approx(np.pi * 4.0)
+
+    def test_diameter(self):
+        assert DiscRegion(3.0).diameter == pytest.approx(6.0)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            DiscRegion(0.0)
+        with pytest.raises(ValueError):
+            DiscRegion(-1.0)
+
+    def test_samples_inside(self):
+        disc = DiscRegion(10.0, center=(5.0, -3.0))
+        pts = disc.sample(500, np.random.default_rng(0))
+        assert pts.shape == (500, 2)
+        assert disc.contains(pts).all()
+
+    def test_sample_negative_raises(self):
+        with pytest.raises(ValueError):
+            DiscRegion(1.0).sample(-1, np.random.default_rng(0))
+
+    def test_uniform_in_area_not_radius(self):
+        """Half the samples should fall within radius r/sqrt(2)."""
+        disc = DiscRegion(1.0)
+        pts = disc.sample(20000, np.random.default_rng(1))
+        r = np.linalg.norm(pts, axis=1)
+        frac_inner = np.mean(r <= 1.0 / np.sqrt(2.0))
+        assert frac_inner == pytest.approx(0.5, abs=0.02)
+
+    def test_contains_boundary(self):
+        disc = DiscRegion(1.0)
+        assert disc.contains([[1.0, 0.0]]).all()
+        assert not disc.contains([[1.01, 0.0]]).any()
+
+    def test_clamp_projects_outside_points(self):
+        disc = DiscRegion(2.0, center=(1.0, 1.0))
+        clamped = disc.clamp([[10.0, 1.0], [1.0, 1.5]])
+        assert np.allclose(clamped[0], [3.0, 1.0])
+        assert np.allclose(clamped[1], [1.0, 1.5])  # interior untouched
+        assert disc.contains(clamped).all()
+
+    def test_density_for(self):
+        disc = DiscRegion(1.0)
+        assert disc.density_for(314) == pytest.approx(314 / disc.area)
+        with pytest.raises(ValueError):
+            disc.density_for(-1)
+
+
+class TestSquareRegion:
+    def test_area_and_diameter(self):
+        sq = SquareRegion(4.0)
+        assert sq.area == pytest.approx(16.0)
+        assert sq.diameter == pytest.approx(4.0 * np.sqrt(2.0))
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            SquareRegion(0.0)
+
+    def test_samples_inside(self):
+        sq = SquareRegion(7.0, origin=(-1.0, 2.0))
+        pts = sq.sample(300, np.random.default_rng(0))
+        assert sq.contains(pts).all()
+
+    def test_center(self):
+        sq = SquareRegion(2.0, origin=(1.0, 1.0))
+        assert np.allclose(sq.center, [2.0, 2.0])
+
+    def test_clamp(self):
+        sq = SquareRegion(1.0)
+        out = sq.clamp([[2.0, 0.5], [-1.0, -1.0], [0.3, 0.3]])
+        assert np.allclose(out, [[1.0, 0.5], [0.0, 0.0], [0.3, 0.3]])
+
+
+class TestFactories:
+    def test_disc_for_density_fixed_density(self):
+        """Doubling n at fixed density doubles the area (paper Sec 1.2)."""
+        d1 = disc_for_density(100, 0.5)
+        d2 = disc_for_density(200, 0.5)
+        assert d2.area == pytest.approx(2 * d1.area)
+        assert d1.density_for(100) == pytest.approx(0.5)
+
+    def test_square_for_density(self):
+        sq = square_for_density(400, 4.0)
+        assert sq.area == pytest.approx(100.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            disc_for_density(0, 1.0)
+        with pytest.raises(ValueError):
+            disc_for_density(10, 0.0)
+        with pytest.raises(ValueError):
+            square_for_density(10, -1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    radius=st.floats(min_value=0.1, max_value=1e4),
+    cx=st.floats(min_value=-1e3, max_value=1e3),
+    cy=st.floats(min_value=-1e3, max_value=1e3),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_disc_sample_contains_property(radius, cx, cy, seed):
+    disc = DiscRegion(radius, center=(cx, cy))
+    pts = disc.sample(64, np.random.default_rng(seed))
+    assert disc.contains(pts).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    side=st.floats(min_value=0.1, max_value=1e4),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_square_clamp_idempotent_property(side, seed):
+    sq = SquareRegion(side)
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(scale=side, size=(32, 2))
+    clamped = sq.clamp(pts)
+    assert sq.contains(clamped).all()
+    assert np.allclose(sq.clamp(clamped), clamped)

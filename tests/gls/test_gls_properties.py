@@ -1,0 +1,72 @@
+"""Property-based tests for the GLS substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import SquareRegion
+from repro.gls import GridHierarchy, GridLocationService
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    L=st.integers(min_value=2, max_value=5),
+)
+def test_grid_nesting_property(seed, L):
+    """Every point's level-i square is contained in its level-(i+1)
+    square (coordinates halve), at every level, for random points."""
+    grid = GridHierarchy(origin=(0.0, 0.0), l=1.0, L=L)
+    rng = np.random.default_rng(seed)
+    pts = rng.random((32, 2)) * grid.side
+    for level in range(1, L):
+        child = grid.square_of(pts, level)
+        parent = grid.square_of(pts, level + 1)
+        assert np.array_equal(child // 2, parent)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_assignment_servers_never_self_unless_alone_property(seed):
+    """A GLS server never sits in the subject's own square (servers live
+    in sibling squares by construction)."""
+    grid = GridHierarchy(origin=(0.0, 0.0), l=2.0, L=3)
+    n = 24
+    svc = GridLocationService(grid=grid, node_ids=np.arange(n))
+    rng = np.random.default_rng(seed)
+    pts = SquareRegion(grid.side).sample(n, rng)
+    a = svc.compute_assignment(pts)
+    for (subj, level), servers in a.servers.items():
+        own = grid.square_of(pts[subj], level)[0]
+        for srv in servers:
+            srv_sq = grid.square_of(pts[srv], level)[0]
+            assert not np.array_equal(own, srv_sq)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_assignment_deterministic_property(seed):
+    """The assignment is a pure function of positions."""
+    grid = GridHierarchy(origin=(0.0, 0.0), l=2.0, L=3)
+    n = 20
+    rng = np.random.default_rng(seed)
+    pts = SquareRegion(grid.side).sample(n, rng)
+    a = GridLocationService(grid=grid, node_ids=np.arange(n)).compute_assignment(pts)
+    b = GridLocationService(grid=grid, node_ids=np.arange(n)).compute_assignment(pts)
+    assert a.servers == b.servers
+
+
+class TestGlsLoadDistribution:
+    def test_load_spreads_with_uniform_ids(self):
+        """On uniform deployments the Eq. (5) hash spreads duty over many
+        nodes (its pathology only bites on small gappy candidate sets)."""
+        grid = GridHierarchy(origin=(0.0, 0.0), l=10.0, L=4)
+        n = 200
+        svc = GridLocationService(grid=grid, node_ids=np.arange(n))
+        rng = np.random.default_rng(3)
+        pts = SquareRegion(grid.side).sample(n, rng)
+        load = svc.compute_assignment(pts).load()
+        assert len(load) > n / 3  # duty touches a third of the population
+        total = sum(load.values())
+        assert max(load.values()) < total * 0.1

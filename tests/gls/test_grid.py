@@ -1,0 +1,106 @@
+"""Tests for the GLS grid hierarchy (Fig. 2 structure)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import SquareRegion
+from repro.gls import GridHierarchy
+
+
+@pytest.fixture
+def grid():
+    # 4-level grid: level-1 side 1, total side 8.
+    return GridHierarchy(origin=(0.0, 0.0), l=1.0, L=4)
+
+
+class TestConstruction:
+    def test_side(self, grid):
+        assert grid.side == 8.0
+        assert grid.square_side(1) == 1.0
+        assert grid.square_side(4) == 8.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            GridHierarchy((0, 0), l=0.0, L=2)
+        with pytest.raises(ValueError):
+            GridHierarchy((0, 0), l=1.0, L=0)
+
+    def test_for_region(self):
+        g = GridHierarchy.for_region(SquareRegion(10.0), l=2.0)
+        assert g.side >= 10.0
+        assert g.l == 2.0
+
+    def test_for_region_exact_power(self):
+        g = GridHierarchy.for_region(SquareRegion(8.0), l=1.0)
+        assert g.L == 4
+        assert g.side == 8.0
+
+    def test_level_bounds(self, grid):
+        with pytest.raises(ValueError):
+            grid.square_side(0)
+        with pytest.raises(ValueError):
+            grid.square_side(5)
+
+
+class TestSquareAddressing:
+    def test_square_of_levels(self, grid):
+        pt = [[2.5, 5.5]]
+        assert grid.square_of(pt, 1).tolist() == [[2, 5]]
+        assert grid.square_of(pt, 2).tolist() == [[1, 2]]
+        assert grid.square_of(pt, 3).tolist() == [[0, 1]]
+        assert grid.square_of(pt, 4).tolist() == [[0, 0]]
+
+    def test_clamping_outside(self, grid):
+        assert grid.square_of([[9.0, -1.0]], 1).tolist() == [[7, 0]]
+
+    def test_parent_consistency(self, grid):
+        pts = np.random.default_rng(0).random((50, 2)) * 8
+        for level in range(1, 4):
+            c = grid.square_of(pts, level)
+            p = grid.square_of(pts, level + 1)
+            assert np.array_equal(c // 2, p)
+
+    def test_square_key_unique_per_square(self, grid):
+        pts = [[0.5, 0.5], [0.7, 0.2], [1.5, 0.5]]
+        keys = grid.square_key(pts, 1)
+        assert keys[0] == keys[1]
+        assert keys[0] != keys[2]
+
+    def test_top_has_no_parent(self, grid):
+        with pytest.raises(ValueError):
+            grid.parent([[0, 0]], 4)
+
+    def test_children(self, grid):
+        kids = grid.children([1, 1], 2)
+        assert sorted(map(tuple, kids.tolist())) == [(2, 2), (2, 3), (3, 2), (3, 3)]
+        with pytest.raises(ValueError):
+            grid.children([0, 0], 1)
+
+
+class TestSiblings:
+    def test_three_siblings(self, grid):
+        sibs = grid.siblings_of([0.5, 0.5], 1)
+        assert sibs.shape == (3, 2)
+        own = (0, 0)
+        assert own not in set(map(tuple, sibs.tolist()))
+        # All siblings share the parent square (0,0) at level 2.
+        assert all(tuple(s // 2) == (0, 0) for s in sibs)
+
+    def test_top_level_raises(self, grid):
+        with pytest.raises(ValueError):
+            grid.siblings_of([0.5, 0.5], 4)
+
+    def test_all_levels_covered(self, grid):
+        """A node has 3 sibling squares at each level 1..L-1: the nested
+        structure of Fig. 2."""
+        pt = [3.3, 6.7]
+        for level in range(1, 4):
+            assert grid.siblings_of(pt, level).shape == (3, 2)
+
+
+class TestSquareCenter:
+    def test_center(self, grid):
+        c = grid.square_center([[0, 0]], 1)
+        assert np.allclose(c, [[0.5, 0.5]])
+        c = grid.square_center([[1, 1]], 3)
+        assert np.allclose(c, [[6.0, 6.0]])

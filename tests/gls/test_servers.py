@@ -1,0 +1,69 @@
+"""Tests for Eq. (5) server selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gls import circular_distance, select_server, select_server_sorted
+
+
+class TestCircularDistance:
+    def test_basic(self):
+        assert circular_distance(5, [6], 100)[0] == 1
+        assert circular_distance(5, [4], 100)[0] == 99
+        assert circular_distance(5, [5], 100)[0] == 100  # self is worst
+
+    def test_wraparound(self):
+        assert circular_distance(99, [0], 100)[0] == 1
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            circular_distance(1, [2], 0)
+
+
+class TestSelectServer:
+    def test_least_greater(self):
+        assert select_server(5, [3, 7, 9], 100) == 7
+
+    def test_wraps(self):
+        assert select_server(9, [3, 7], 100) == 3
+
+    def test_self_excluded(self):
+        assert select_server(5, [5, 8], 100) == 8
+        assert select_server(5, [5], 100) is None
+
+    def test_empty(self):
+        assert select_server(5, [], 100) is None
+
+    def test_deterministic_unambiguous(self):
+        """Feature (a): selection depends only on the candidate set."""
+        cands = [12, 44, 3, 91]
+        assert select_server(50, cands, 100) == select_server(50, sorted(cands), 100)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    v=st.integers(0, 999),
+    cands=st.lists(st.integers(0, 999), min_size=0, max_size=30, unique=True),
+)
+def test_sorted_matches_linear_property(v, cands):
+    arr = np.sort(np.array(cands, dtype=np.int64)) if cands else np.empty(0, np.int64)
+    assert select_server_sorted(v, arr, 1000) == select_server(v, cands, 1000)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    v=st.integers(0, 999),
+    cands=st.lists(st.integers(0, 999), min_size=2, max_size=30, unique=True),
+)
+def test_selection_is_circular_successor_property(v, cands):
+    srv = select_server(v, cands, 1000)
+    others = [c for c in cands if c != v]
+    if not others:
+        assert srv is None
+        return
+    assert srv in others
+    d_srv = (srv - v) % 1000
+    for c in others:
+        assert d_srv <= (c - v) % 1000

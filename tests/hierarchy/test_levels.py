@@ -1,0 +1,183 @@
+"""Tests for recursive hierarchy construction (Fig. 1 semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import DiscRegion, disc_for_density
+from repro.hierarchy import build_hierarchy, canonical_edges, contract_edges
+from repro.radio import radius_for_degree, unit_disk_edges
+
+
+class TestCanonicalEdges:
+    def test_dedup_and_sort(self):
+        e = canonical_edges([[2, 1], [1, 2], [3, 1], [4, 4]])
+        assert e.tolist() == [[1, 2], [1, 3]]
+
+    def test_empty(self):
+        assert canonical_edges(np.empty((0, 2))).shape == (0, 2)
+
+
+class TestContractEdges:
+    def test_basic_contraction(self):
+        # Nodes 1..4; clusters {1,2}->2 and {3,4}->4; edge 2-3 crosses.
+        node_ids = np.array([1, 2, 3, 4])
+        member_of = np.array([2, 2, 4, 4])
+        e = contract_edges([[1, 2], [2, 3], [3, 4]], node_ids, member_of)
+        assert e.tolist() == [[2, 4]]
+
+    def test_all_internal(self):
+        node_ids = np.array([1, 2])
+        member_of = np.array([2, 2])
+        e = contract_edges([[1, 2]], node_ids, member_of)
+        assert e.shape == (0, 2)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ValueError):
+            contract_edges([[1, 5]], np.array([1, 2]), np.array([2, 2]))
+
+
+class TestBuildHierarchy:
+    def test_single_node(self):
+        h = build_hierarchy([7], np.empty((0, 2)))
+        assert h.num_levels == 0
+        assert h.level_sizes() == [1]
+        assert h.address(7) == (7,)
+
+    def test_pair_two_levels(self):
+        h = build_hierarchy([1, 2], [[1, 2]])
+        assert h.num_levels == 1
+        assert h.level_sizes() == [2, 1]
+        assert h.cluster_of(1, 1) == 2
+        assert h.address(1) == (2, 1)
+        assert h.address(2) == (2, 2)
+
+    def test_level_sizes_strictly_decrease(self):
+        rng = np.random.default_rng(0)
+        pts = DiscRegion(10.0).sample(200, rng)
+        edges = unit_disk_edges(pts, 1.5)
+        h = build_hierarchy(np.arange(200), edges)
+        sizes = h.level_sizes()
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+    def test_max_levels_cap(self):
+        rng = np.random.default_rng(1)
+        pts = DiscRegion(10.0).sample(300, rng)
+        edges = unit_disk_edges(pts, 1.2)
+        h = build_hierarchy(np.arange(300), edges, max_levels=2)
+        assert h.num_levels <= 2
+
+    def test_three_level_hierarchy_like_fig1(self):
+        """A dense-enough 100-node network should produce >= 2 levels,
+        with every address consistent with cluster_of."""
+        density = 0.02
+        region = disc_for_density(100, density)
+        rng = np.random.default_rng(7)
+        pts = region.sample(100, rng)
+        edges = unit_disk_edges(pts, radius_for_degree(9.0, density))
+        h = build_hierarchy(np.arange(100), edges)
+        assert h.num_levels >= 2
+        for v in range(0, 100, 7):
+            addr = h.address(v)
+            assert addr[-1] == v
+            for k in range(h.num_levels + 1):
+                assert addr[h.num_levels - k] == h.cluster_of(v, k)
+
+    def test_ancestry_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        pts = DiscRegion(8.0).sample(60, rng)
+        edges = unit_disk_edges(pts, 2.0)
+        h = build_hierarchy(np.arange(60), edges)
+        for k in range(h.num_levels + 1):
+            anc = h.ancestry(k)
+            for v in range(0, 60, 11):
+                assert anc[v] == h.cluster_of(v, k)
+
+    def test_members0_roundtrip(self):
+        rng = np.random.default_rng(4)
+        pts = DiscRegion(8.0).sample(80, rng)
+        edges = unit_disk_edges(pts, 2.0)
+        h = build_hierarchy(np.arange(80), edges)
+        k = h.num_levels
+        total = 0
+        for cid in np.unique(h.ancestry(k)):
+            members = h.members0(k, int(cid))
+            total += members.size
+            assert all(h.cluster_of(int(m), k) == cid for m in members[:5])
+        assert total == 80
+
+    def test_highest_level_of(self):
+        h = build_hierarchy([1, 2, 3], [[1, 2], [2, 3]])
+        # 3 is the unique head -> appears at every level.
+        assert h.highest_level_of(3) == h.num_levels
+        assert h.highest_level_of(1) == 0
+
+    def test_clusters_view(self):
+        h = build_hierarchy([1, 2, 3], [[1, 2], [2, 3]])
+        clusters = h.clusters(1)
+        assert 3 in clusters
+        members = sorted(int(x) for ms in clusters.values() for x in ms)
+        assert members == [1, 2, 3]
+
+    def test_bad_level_queries(self):
+        h = build_hierarchy([1, 2], [[1, 2]])
+        with pytest.raises(ValueError):
+            h.cluster_of(1, 5)
+        with pytest.raises(ValueError):
+            h.clusters(0)
+        with pytest.raises(KeyError):
+            h.address(99)
+
+    def test_maxmin_algorithm(self):
+        rng = np.random.default_rng(5)
+        pts = DiscRegion(8.0).sample(100, rng)
+        edges = unit_disk_edges(pts, 2.0)
+        h = build_hierarchy(np.arange(100), edges, algorithm="maxmin", maxmin_d=2)
+        assert h.num_levels >= 1
+        sizes = h.level_sizes()
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            build_hierarchy([1, 2], [[1, 2]], algorithm="kmeans")
+
+    def test_disconnected_components(self):
+        h = build_hierarchy([1, 2, 10, 11], [[1, 2], [10, 11]])
+        assert h.cluster_of(1, 1) == 2
+        assert h.cluster_of(10, 1) == 11
+        # Top level: two isolated heads, no further aggregation.
+        assert h.levels[-1].n_edges == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31), n=st.integers(2, 80))
+def test_hierarchy_invariants_property(seed, n):
+    """Partition, containment, and nesting invariants on random graphs."""
+    rng = np.random.default_rng(seed)
+    pts = DiscRegion(1.0).sample(n, rng)
+    edges = unit_disk_edges(pts, 0.35)
+    h = build_hierarchy(np.arange(n), edges)
+
+    sizes = h.level_sizes()
+    assert sizes[0] == n
+    assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    # Nesting: V_{k+1} subset of V_k.
+    for k in range(h.num_levels):
+        upper = set(h.levels[k + 1].node_ids.tolist())
+        lower = set(h.levels[k].node_ids.tolist())
+        assert upper <= lower
+
+    # Ancestry refinement: same level-k cluster implies same level-(k+1)
+    # cluster.
+    for k in range(h.num_levels):
+        a_k = h.ancestry(k)
+        a_k1 = h.ancestry(k + 1)
+        for cid in np.unique(a_k):
+            ups = np.unique(a_k1[a_k == cid])
+            assert ups.size == 1
+
+    # Every node's top ancestor is a top-level node.
+    top_ids = set(h.levels[-1].node_ids.tolist())
+    assert set(np.unique(h.ancestry(h.num_levels)).tolist()) <= top_ids

@@ -1,0 +1,60 @@
+"""Tests for the text hierarchy renderer."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import disc_for_density
+from repro.hierarchy import build_hierarchy, render_hierarchy, render_summary
+from repro.radio import radius_for_degree, unit_disk_edges
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    n = 80
+    density = 0.02
+    region = disc_for_density(n, density)
+    rng = np.random.default_rng(3)
+    pts = region.sample(n, rng)
+    r = radius_for_degree(9.0, density)
+    return build_hierarchy(np.arange(n), unit_disk_edges(pts, r),
+                           level_mode="radio", positions=pts, r0=r)
+
+
+class TestRenderSummary:
+    def test_one_line_per_level(self, hierarchy):
+        text = render_summary(hierarchy)
+        assert len(text.splitlines()) == hierarchy.num_levels + 1
+        assert "level 0" in text
+        assert "80 nodes" in text
+
+    def test_arities_shown(self, hierarchy):
+        assert "arity" in render_summary(hierarchy)
+
+
+class TestRenderHierarchy:
+    def test_contains_all_top_clusters(self, hierarchy):
+        text = render_hierarchy(hierarchy)
+        for cid in hierarchy.levels[-1].node_ids.tolist():
+            assert f"cluster {cid} " in text
+
+    def test_leaves_shown(self, hierarchy):
+        text = render_hierarchy(hierarchy, max_children=100)
+        # Every level-0 node appears as a leaf when nothing is elided.
+        leaves = [ln for ln in text.splitlines() if ln.strip().startswith("* ")]
+        assert len(leaves) == 80
+
+    def test_elision(self, hierarchy):
+        text = render_hierarchy(hierarchy, max_children=1)
+        assert "more)" in text
+
+    def test_no_level0(self, hierarchy):
+        text = render_hierarchy(hierarchy, show_level0=False)
+        assert "* " not in text
+
+    def test_invalid_max_children(self, hierarchy):
+        with pytest.raises(ValueError):
+            render_hierarchy(hierarchy, max_children=0)
+
+    def test_trivial_hierarchy(self):
+        h = build_hierarchy([3], np.empty((0, 2)))
+        assert render_hierarchy(h) == "* 3"

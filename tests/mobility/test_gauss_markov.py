@@ -1,0 +1,70 @@
+"""Tests for the Gauss-Markov mobility model."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import DiscRegion
+from repro.mobility import GaussMarkov
+
+
+def make(n=50, radius=100.0, speed=2.0, seed=0, **kw):
+    return GaussMarkov(n, DiscRegion(radius), speed,
+                       np.random.default_rng(seed), **kw)
+
+
+class TestConstruction:
+    def test_invalid_memory(self):
+        with pytest.raises(ValueError):
+            make(memory=1.0)
+        with pytest.raises(ValueError):
+            make(memory=-0.1)
+
+    def test_invalid_heading_sigma(self):
+        with pytest.raises(ValueError):
+            make(heading_sigma=0.0)
+
+
+class TestDynamics:
+    def test_stays_inside(self):
+        m = make(n=80, speed=5.0)
+        for _ in range(300):
+            assert m.region.contains(m.step(1.0)).all()
+
+    def test_mean_speed_stationary(self):
+        """The AR(1) speed process keeps its configured mean."""
+        m = make(n=200, speed=3.0, seed=1)
+        samples = []
+        for _ in range(150):
+            m.step(1.0)
+            samples.append(m.speeds.mean())
+        assert np.mean(samples[50:]) == pytest.approx(3.0, rel=0.15)
+
+    def test_memory_smooths_headings(self):
+        """High memory -> small per-step heading change."""
+        turns = {}
+        for mem in (0.3, 0.95):
+            m = make(n=100, speed=2.0, seed=2, memory=mem)
+            m.step(1.0)
+            before = m._heading.copy()
+            m.step(1.0)
+            d = np.angle(np.exp(1j * (m._heading - before)))
+            turns[mem] = np.abs(d).mean()
+        assert turns[0.95] < turns[0.3]
+
+    def test_deterministic(self):
+        a = make(seed=5)
+        b = make(seed=5)
+        for _ in range(10):
+            a.step(1.0)
+            b.step(1.0)
+        assert np.allclose(a.positions, b.positions)
+
+    def test_no_teleporting(self):
+        m = make(n=60, speed=2.0, seed=3)
+        prev = m.positions.copy()
+        for _ in range(50):
+            cur = m.step(1.0)
+            moved = np.linalg.norm(cur - prev, axis=1)
+            # Speed excursions are bounded by mean + a few sigma.
+            assert (moved <= 2.0 + 5 * m.speed_sigma + 1e-9).all()
+            prev = cur.copy()

@@ -1,0 +1,148 @@
+"""Tests for random-direction, group, and stationary mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import DiscRegion, SquareRegion
+from repro.mobility import (
+    MODEL_REGISTRY,
+    RandomDirection,
+    ReferencePointGroup,
+    Stationary,
+    make_model,
+)
+
+
+class TestRandomDirection:
+    @pytest.mark.parametrize("region", [DiscRegion(50.0), SquareRegion(100.0)])
+    def test_stays_inside(self, region):
+        m = RandomDirection(40, region, 8.0, np.random.default_rng(0))
+        for _ in range(200):
+            assert region.contains(m.step(1.0)).all()
+
+    def test_headings_unit_norm(self):
+        m = RandomDirection(30, DiscRegion(50.0), 5.0, np.random.default_rng(1))
+        for _ in range(50):
+            m.step(1.0)
+        norms = np.linalg.norm(m.headings, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_turn_rate_changes_headings(self):
+        m = RandomDirection(
+            200, DiscRegion(1e6), 1.0, np.random.default_rng(2), turn_rate=5.0
+        )
+        before = m.headings.copy()
+        m.step(1.0)
+        # Huge region: no wall reflections, so any change is from turning.
+        changed = ~np.all(np.isclose(before, m.headings), axis=1)
+        assert changed.mean() > 0.9
+
+    def test_zero_turn_rate_straight_line(self):
+        m = RandomDirection(
+            10, DiscRegion(1e6), 1.0, np.random.default_rng(3), turn_rate=0.0
+        )
+        h = m.headings.copy()
+        m.step(1.0)
+        assert np.allclose(h, m.headings)
+
+    def test_invalid_turn_rate(self):
+        with pytest.raises(ValueError):
+            RandomDirection(5, DiscRegion(10.0), 1.0, np.random.default_rng(0), turn_rate=-1)
+
+    def test_uniformity_preserved(self):
+        """Random-direction keeps the spatial distribution near uniform:
+        the fraction inside radius r/sqrt(2) stays near 1/2."""
+        region = DiscRegion(100.0)
+        m = RandomDirection(400, region, 15.0, np.random.default_rng(4))
+        count = total = 0
+        for _ in range(100):
+            pts = m.step(1.0)
+            r = np.linalg.norm(pts, axis=1)
+            count += int((r <= 100.0 / np.sqrt(2)).sum())
+            total += len(pts)
+        assert count / total == pytest.approx(0.5, abs=0.07)
+
+
+class TestGroupMobility:
+    def test_stays_inside(self):
+        region = DiscRegion(200.0)
+        m = ReferencePointGroup(
+            60, region, 10.0, np.random.default_rng(0), n_groups=5, group_radius=30.0
+        )
+        for _ in range(100):
+            assert region.contains(m.step(1.0)).all()
+
+    def test_groups_cohere(self):
+        region = DiscRegion(500.0)
+        m = ReferencePointGroup(
+            40, region, 10.0, np.random.default_rng(1), n_groups=4, group_radius=20.0
+        )
+        for _ in range(50):
+            m.step(1.0)
+        for g in range(4):
+            members = m.positions[m.group_of == g]
+            center = m._centers.positions[g]
+            d = np.linalg.norm(members - center, axis=1)
+            # Offsets bounded by group radius (clamping at the region
+            # boundary can only pull members closer to the interior).
+            assert (d <= 20.0 + 1e-6).all() or region.contains(members).all()
+
+    def test_more_groups_than_nodes_clipped(self):
+        m = ReferencePointGroup(
+            3, DiscRegion(100.0), 5.0, np.random.default_rng(2), n_groups=10
+        )
+        assert m.n_groups == 3
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ReferencePointGroup(5, DiscRegion(10.0), 1.0, np.random.default_rng(0), n_groups=0)
+        with pytest.raises(ValueError):
+            ReferencePointGroup(
+                5, DiscRegion(10.0), 1.0, np.random.default_rng(0), group_radius=0.0
+            )
+
+
+class TestStationary:
+    def test_never_moves(self):
+        m = Stationary(25, DiscRegion(50.0), np.random.default_rng(0))
+        before = m.positions.copy()
+        for _ in range(10):
+            m.step(1.0)
+        assert np.array_equal(before, m.positions)
+        assert m.time == pytest.approx(10.0)
+
+    def test_speeds_zero(self):
+        m = Stationary(5, DiscRegion(50.0), np.random.default_rng(0))
+        assert (m.speeds == 0).all()
+
+
+class TestRegistry:
+    def test_registry_complete(self):
+        assert set(MODEL_REGISTRY) == {
+            "random_waypoint",
+            "gauss_markov",
+            "random_direction",
+            "group",
+            "stationary",
+        }
+
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_make_model(self, name):
+        m = make_model(name, 10, DiscRegion(50.0), 5.0, np.random.default_rng(0))
+        assert m.n == 10
+        m.step(1.0)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown mobility model"):
+            make_model("teleport", 10, DiscRegion(50.0), 5.0, np.random.default_rng(0))
+
+    def test_kwargs_forwarded(self):
+        m = make_model(
+            "group",
+            12,
+            DiscRegion(100.0),
+            5.0,
+            np.random.default_rng(0),
+            n_groups=3,
+        )
+        assert m.n_groups == 3

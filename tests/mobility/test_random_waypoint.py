@@ -1,0 +1,141 @@
+"""Tests for the random-waypoint model (the paper's mobility model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import DiscRegion, SquareRegion
+from repro.mobility import RandomWaypoint
+
+
+def make_rwp(n=20, radius=100.0, speed=5.0, seed=0, **kw):
+    region = DiscRegion(radius)
+    return RandomWaypoint(n, region, speed, np.random.default_rng(seed), **kw)
+
+
+class TestConstruction:
+    def test_initial_positions_inside(self):
+        m = make_rwp()
+        assert m.region.contains(m.positions).all()
+        assert m.region.contains(m.waypoints).all()
+
+    def test_invalid_pause(self):
+        with pytest.raises(ValueError):
+            make_rwp(pause=-1.0)
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            make_rwp(speed=0.0)
+
+    def test_speed_range(self):
+        m = make_rwp(speed=(1.0, 3.0), n=200)
+        assert (m.speeds >= 1.0).all() and (m.speeds <= 3.0).all()
+        assert m.speeds.std() > 0
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            make_rwp(n=0)
+
+
+class TestStepping:
+    def test_positions_stay_inside(self):
+        m = make_rwp(n=50, speed=10.0)
+        for _ in range(100):
+            pts = m.step(1.0)
+            assert m.region.contains(pts).all()
+
+    def test_displacement_bounded_by_speed(self):
+        m = make_rwp(n=100, speed=7.0)
+        before = m.positions.copy()
+        m.step(2.0)
+        moved = np.linalg.norm(m.positions - before, axis=1)
+        # Straight-line displacement can't exceed speed * dt (waypoint
+        # turns only shorten it).
+        assert (moved <= 7.0 * 2.0 + 1e-9).all()
+
+    def test_zero_pause_nodes_keep_moving(self):
+        """With zero pause every node moves every step (paper's setting)."""
+        m = make_rwp(n=50, speed=5.0)
+        before = m.positions.copy()
+        m.step(0.5)
+        moved = np.linalg.norm(m.positions - before, axis=1)
+        assert (moved > 0).all()
+
+    def test_invalid_dt(self):
+        m = make_rwp()
+        with pytest.raises(ValueError):
+            m.step(0.0)
+        with pytest.raises(ValueError):
+            m.step(-1.0)
+
+    def test_clock_advances(self):
+        m = make_rwp()
+        m.step(0.25)
+        m.step(0.75)
+        assert m.time == pytest.approx(1.0)
+
+    def test_arrival_redraws_waypoint(self):
+        m = make_rwp(n=1, radius=10.0, speed=1000.0, seed=3)
+        wp_before = m.waypoints.copy()
+        m.step(1.0)  # speed >> diameter: certainly arrives at least once
+        assert not np.allclose(wp_before, m.waypoints)
+
+    def test_deterministic_under_seed(self):
+        a = make_rwp(n=30, seed=42)
+        b = make_rwp(n=30, seed=42)
+        for _ in range(20):
+            a.step(1.0)
+            b.step(1.0)
+        assert np.allclose(a.positions, b.positions)
+
+    def test_different_seeds_differ(self):
+        a = make_rwp(n=30, seed=1)
+        b = make_rwp(n=30, seed=2)
+        assert not np.allclose(a.positions, b.positions)
+
+
+class TestPause:
+    def test_paused_node_holds_position(self):
+        m = make_rwp(n=1, radius=10.0, speed=1000.0, pause=100.0, seed=5)
+        m.step(1.0)  # arrive somewhere and start pausing
+        pos = m.positions.copy()
+        m.step(1.0)
+        assert np.allclose(m.positions, pos)
+
+    def test_pause_expires(self):
+        m = make_rwp(n=1, radius=10.0, speed=5.0, pause=0.5, seed=7)
+        # Run long enough to guarantee several legs complete.
+        for _ in range(200):
+            m.step(1.0)
+        assert m.region.contains(m.positions).all()
+
+
+class TestSpatialDistribution:
+    def test_mean_near_center_long_run(self):
+        """RWP concentrates mass toward the center; the time-averaged mean
+        position should be near the region center."""
+        m = make_rwp(n=200, radius=100.0, speed=20.0, seed=11)
+        acc = np.zeros(2)
+        steps = 200
+        for _ in range(steps):
+            acc += m.step(1.0).mean(axis=0)
+        assert np.linalg.norm(acc / steps) < 10.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    speed=st.floats(min_value=0.1, max_value=50.0),
+    dt=st.floats(min_value=0.01, max_value=10.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_rwp_invariants_property(n, speed, dt, seed):
+    region = SquareRegion(100.0)
+    m = RandomWaypoint(n, region, speed, np.random.default_rng(seed))
+    for _ in range(5):
+        before = m.positions.copy()
+        pts = m.step(dt)
+        assert region.contains(pts).all()
+        moved = np.linalg.norm(pts - before, axis=1)
+        assert (moved <= speed * dt * (1 + 1e-9) + 1e-9).all()

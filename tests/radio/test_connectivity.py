@@ -1,0 +1,88 @@
+"""Tests for connectivity sizing helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import disc_for_density
+from repro.radio import (
+    expected_degree,
+    giant_component_fraction,
+    gupta_kumar_radius,
+    is_connected,
+    largest_component_nodes,
+    radius_for_degree,
+)
+
+
+class TestRadiusForDegree:
+    def test_inverse_of_expected_degree(self):
+        r = radius_for_degree(8.0, density=0.01)
+        assert expected_degree(r, 0.01) == pytest.approx(8.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            radius_for_degree(0, 1.0)
+        with pytest.raises(ValueError):
+            radius_for_degree(5, 0)
+        with pytest.raises(ValueError):
+            expected_degree(0, 1.0)
+
+    def test_empirical_degree_matches(self):
+        """Sampled mean degree should be close to the target."""
+        density = 0.02
+        n = 2000
+        region = disc_for_density(n, density)
+        rng = np.random.default_rng(0)
+        pts = region.sample(n, rng)
+        r = radius_for_degree(10.0, density)
+        from repro.radio import degree_counts, unit_disk_edges
+
+        deg = degree_counts(n, unit_disk_edges(pts, r))
+        # Border effects pull the mean slightly below the Poisson value.
+        assert 8.0 < deg.mean() < 10.5
+
+
+class TestGuptaKumar:
+    def test_scaling_shape(self):
+        """r_c^2 * n / log n should be constant across n at fixed area."""
+        area = 1.0
+        vals = [gupta_kumar_radius(n, area) ** 2 * n / np.log(n) for n in (100, 1000, 10000)]
+        assert max(vals) == pytest.approx(min(vals))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            gupta_kumar_radius(1, 1.0)
+        with pytest.raises(ValueError):
+            gupta_kumar_radius(10, 0.0)
+
+    def test_supercritical_usually_connected(self):
+        rng = np.random.default_rng(1)
+        region = disc_for_density(300, 1.0)
+        pts = region.sample(300, rng)
+        r = gupta_kumar_radius(300, region.area, c=4.0)
+        assert giant_component_fraction(pts, r) > 0.95
+
+
+class TestComponents:
+    def test_two_blobs_disconnected(self):
+        pts = np.array([[0, 0], [1, 0], [100, 0], [101, 0]], dtype=float)
+        assert not is_connected(pts, 2.0)
+        assert giant_component_fraction(pts, 2.0) == pytest.approx(0.5)
+
+    def test_connected_chain(self):
+        pts = np.array([[i, 0] for i in range(10)], dtype=float)
+        assert is_connected(pts, 1.5)
+        assert giant_component_fraction(pts, 1.5) == 1.0
+
+    def test_single_node_connected(self):
+        assert is_connected(np.array([[0.0, 0.0]]), 1.0)
+
+    def test_largest_component_nodes(self):
+        pts = np.array([[0, 0], [1, 0], [2, 0], [50, 0], [51, 0]], dtype=float)
+        assert largest_component_nodes(pts, 1.5).tolist() == [0, 1, 2]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            giant_component_fraction(np.empty((0, 2)), 1.0)
+        with pytest.raises(ValueError):
+            largest_component_nodes(np.empty((0, 2)), 1.0)

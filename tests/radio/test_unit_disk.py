@@ -1,0 +1,136 @@
+"""Tests for unit-disk graph construction and edge encoding."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import DiscRegion, pairwise_distances
+from repro.radio import (
+    decode_edges,
+    degree_counts,
+    edges_to_graph,
+    encode_edges,
+    unit_disk_edges,
+    unit_disk_graph,
+)
+
+
+class TestUnitDiskEdges:
+    def test_simple_chain(self):
+        pts = [[0, 0], [1, 0], [2, 0], [10, 0]]
+        e = unit_disk_edges(pts, 1.5)
+        assert e.tolist() == [[0, 1], [1, 2]]
+
+    def test_canonical_form(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((50, 2)) * 10
+        e = unit_disk_edges(pts, 2.0)
+        assert (e[:, 0] < e[:, 1]).all()
+        keys = e[:, 0] * 50 + e[:, 1]
+        assert (np.diff(keys) > 0).all()  # strictly sorted, no duplicates
+
+    def test_empty_cases(self):
+        assert unit_disk_edges(np.empty((0, 2)), 1.0).shape == (0, 2)
+        assert unit_disk_edges([[0.0, 0.0]], 1.0).shape == (0, 2)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            unit_disk_edges([[0, 0], [1, 1]], 0.0)
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        pts = rng.random((40, 2)) * 5
+        r = 1.2
+        e = unit_disk_edges(pts, r)
+        d = pairwise_distances(pts)
+        expected = {(i, j) for i in range(40) for j in range(i + 1, 40) if d[i, j] <= r}
+        assert set(map(tuple, e.tolist())) == expected
+
+
+class TestGraphView:
+    def test_preserves_isolated_nodes(self):
+        g = edges_to_graph(5, np.array([[0, 1]]))
+        assert g.number_of_nodes() == 5
+        assert g.degree[4] == 0
+
+    def test_positions_attached(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        g = unit_disk_graph(pts, 2.0)
+        assert g.nodes[1]["pos"] == (1.0, 0.0)
+        assert g.has_edge(0, 1)
+
+    def test_position_length_mismatch(self):
+        with pytest.raises(ValueError):
+            edges_to_graph(3, np.empty((0, 2)), positions=np.zeros((2, 2)))
+
+    def test_graph_equivalence_with_nx_rgg(self):
+        """Cross-check against networkx's random geometric graph."""
+        rng = np.random.default_rng(2)
+        pts = rng.random((30, 2))
+        r = 0.3
+        ours = unit_disk_graph(pts, r)
+        ref = nx.random_geometric_graph(30, r, pos={i: pts[i] for i in range(30)})
+        assert set(ours.edges()) == {tuple(sorted(e)) for e in ref.edges()}
+
+
+class TestDegreeCounts:
+    def test_star(self):
+        e = np.array([[0, 1], [0, 2], [0, 3]])
+        deg = degree_counts(4, e)
+        assert deg.tolist() == [3, 1, 1, 1]
+
+    def test_empty(self):
+        assert degree_counts(3, np.empty((0, 2), dtype=np.int64)).tolist() == [0, 0, 0]
+
+    def test_matches_networkx(self):
+        rng = np.random.default_rng(3)
+        pts = rng.random((25, 2))
+        e = unit_disk_edges(pts, 0.4)
+        g = edges_to_graph(25, e)
+        deg = degree_counts(25, e)
+        assert deg.tolist() == [g.degree[i] for i in range(25)]
+
+
+class TestEdgeEncoding:
+    def test_roundtrip(self):
+        e = np.array([[0, 1], [2, 7], [3, 4]], dtype=np.int64)
+        keys = encode_edges(e, 10)
+        assert np.array_equal(decode_edges(keys, 10), e)
+
+    def test_empty_roundtrip(self):
+        keys = encode_edges(np.empty((0, 2), dtype=np.int64), 10)
+        assert keys.size == 0
+        assert decode_edges(keys, 10).shape == (0, 2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=1000),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_roundtrip_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(0, 20))
+        if m:
+            a = rng.integers(0, n - 1, size=m)
+            b = rng.integers(a + 1, n)
+            e = np.sort(np.stack([a, b], axis=1), axis=1).astype(np.int64)
+        else:
+            e = np.empty((0, 2), dtype=np.int64)
+        assert np.array_equal(decode_edges(encode_edges(e, n), n), e)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    r=st.floats(min_value=0.05, max_value=2.0),
+)
+def test_unit_disk_symmetry_property(seed, r):
+    """Edge set must equal brute-force thresholding of the distance matrix."""
+    rng = np.random.default_rng(seed)
+    pts = DiscRegion(1.0).sample(20, rng)
+    e = unit_disk_edges(pts, r)
+    d = pairwise_distances(pts)
+    brute = {(i, j) for i in range(20) for j in range(i + 1, 20) if d[i, j] <= r}
+    assert set(map(tuple, e.tolist())) == brute

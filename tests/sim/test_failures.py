@@ -1,0 +1,79 @@
+"""Tests for failure injection and address-lifetime metrics."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Scenario, run_scenario
+
+
+class TestFailureValidation:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(failure_rate=-0.1)
+
+    def test_zero_repair_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(repair_time=0.0)
+
+
+class TestFailureInjection:
+    def test_zero_rate_is_noop(self):
+        a = run_scenario(Scenario(n=80, steps=8, warmup=2, speed=1.5,
+                                  seed=4, max_levels=3, failure_rate=0.0))
+        b = run_scenario(Scenario(n=80, steps=8, warmup=2, speed=1.5,
+                                  seed=4, max_levels=3))
+        assert a.phi == b.phi
+        assert a.gamma == b.gamma
+
+    def test_failures_change_dynamics(self):
+        base = run_scenario(Scenario(n=100, steps=15, warmup=3, speed=1.0,
+                                     seed=5, max_levels=3))
+        failing = run_scenario(Scenario(n=100, steps=15, warmup=3, speed=1.0,
+                                        seed=5, max_levels=3,
+                                        failure_rate=0.02, repair_time=10.0))
+        # Heavy failure rate measurably changes link dynamics.
+        assert failing.f0 != pytest.approx(base.f0)
+
+    def test_stationary_with_failures_has_events(self):
+        """Even with zero mobility, crashes alone produce link events
+        and handoff — the isolated effect of the excluded factor."""
+        res = run_scenario(Scenario(n=100, steps=20, warmup=0,
+                                    mobility="stationary", seed=6,
+                                    max_levels=3, failure_rate=0.01,
+                                    repair_time=5.0))
+        assert res.f0 > 0
+        assert res.handoff_rate > 0
+
+    def test_determinism_with_failures(self):
+        sc = Scenario(n=80, steps=10, warmup=2, speed=1.0, seed=7,
+                      max_levels=3, failure_rate=0.01)
+        assert run_scenario(sc).handoff_rate == pytest.approx(
+            run_scenario(sc).handoff_rate
+        )
+
+
+class TestComponentLifetimes:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scenario(Scenario(n=100, steps=20, warmup=5, speed=1.5,
+                                     seed=8, max_levels=3))
+
+    def test_lifetimes_positive(self, result):
+        lifetimes = result.component_lifetimes()
+        assert lifetimes
+        assert all(t > 0 for t in lifetimes.values())
+
+    def test_staleness_in_unit_interval(self, result):
+        stale = result.staleness_fraction()
+        assert all(0 <= v <= 1 for v in stale.values())
+
+    def test_staleness_lag_validation(self, result):
+        with pytest.raises(ValueError):
+            result.staleness_fraction(update_lag=0.0)
+
+    def test_stationary_infinite_lifetime(self):
+        res = run_scenario(Scenario(n=60, steps=6, warmup=0,
+                                    mobility="stationary", seed=9,
+                                    max_levels=2))
+        lifetimes = res.component_lifetimes()
+        assert all(np.isinf(t) for t in lifetimes.values())

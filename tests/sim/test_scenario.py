@@ -1,0 +1,66 @@
+"""Tests for scenario configuration."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Scenario
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 1},
+            {"density": 0.0},
+            {"target_degree": 0.0},
+            {"dt": 0.0},
+            {"steps": 0},
+            {"warmup": -1},
+            {"hop_mode": "psychic"},
+            {"detour": 0.5},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            Scenario(**kwargs)
+
+    def test_defaults_valid(self):
+        sc = Scenario()
+        assert sc.n == 200
+
+
+class TestDerivedQuantities:
+    def test_fixed_density_scaling(self):
+        """Area grows linearly with n at fixed density (Section 1.2)."""
+        a = Scenario(n=100).region.area
+        b = Scenario(n=400).region.area
+        assert b == pytest.approx(4 * a)
+
+    def test_r_tx_independent_of_n(self):
+        """At fixed density the transmission radius is constant — R_tx
+        does not shrink with n in the paper's scaling regime."""
+        assert Scenario(n=100).r_tx == pytest.approx(Scenario(n=1000).r_tx)
+
+    def test_r_tx_gives_target_degree(self):
+        sc = Scenario(density=0.01, target_degree=8.0)
+        expected = np.sqrt(8.0 / (np.pi * 0.01))
+        assert sc.r_tx == pytest.approx(expected)
+
+    def test_auto_hop_mode(self):
+        assert Scenario(n=100).resolved_hop_mode == "bfs"
+        assert Scenario(n=2000).resolved_hop_mode == "euclidean"
+        assert Scenario(n=2000, hop_mode="bfs").resolved_hop_mode == "bfs"
+
+    def test_duration(self):
+        assert Scenario(steps=50, dt=0.5).duration == pytest.approx(25.0)
+
+    def test_mean_step_displacement(self):
+        sc = Scenario(speed=2.0, dt=1.0)
+        assert sc.mean_step_displacement() == pytest.approx(2.0 / sc.r_tx)
+        sc2 = Scenario(speed=(1.0, 3.0), dt=1.0)
+        assert sc2.mean_step_displacement() == pytest.approx(2.0 / sc2.r_tx)
+
+    def test_frozen(self):
+        sc = Scenario()
+        with pytest.raises(Exception):
+            sc.n = 5

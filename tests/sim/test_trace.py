@@ -1,0 +1,82 @@
+"""Tests for event traces and their simulator integration."""
+
+import pytest
+
+from repro.sim import EventTrace, Scenario, Simulator
+
+
+class TestEventTrace:
+    def test_record_and_len(self):
+        t = EventTrace()
+        t.record(1.0, "migration", node=5, level=2)
+        t.record(2.0, "handoff", phi=3)
+        assert len(t) == 2
+
+    def test_filter_by_kind(self):
+        t = EventTrace()
+        t.record(1.0, "a")
+        t.record(2.0, "b")
+        t.record(3.0, "a")
+        assert len(t.filter(kind="a")) == 2
+
+    def test_filter_by_time(self):
+        t = EventTrace()
+        for i in range(5):
+            t.record(float(i), "x")
+        assert len(t.filter(t_min=1.0, t_max=3.0)) == 3
+
+    def test_summary(self):
+        t = EventTrace()
+        t.record(0, "a")
+        t.record(0, "a")
+        t.record(0, "b")
+        assert t.summary() == {"a": 2, "b": 1}
+
+    def test_capacity_drops_counted(self):
+        t = EventTrace(capacity=2)
+        for i in range(5):
+            t.record(float(i), "x")
+        assert len(t) == 2
+        assert t.dropped == 3
+        assert "dropped" in t.to_lines()[-1]
+
+    def test_to_lines_limit(self):
+        t = EventTrace()
+        for i in range(10):
+            t.record(float(i), "x", i=i)
+        lines = t.to_lines(limit=3)
+        assert len(lines) == 3
+        assert "i=9" in lines[-1]
+
+    def test_str_rendering(self):
+        t = EventTrace()
+        t.record(1.5, "migration", node=3)
+        assert "migration" in str(t.events[0])
+        assert "node=3" in str(t.events[0])
+
+    def test_iteration(self):
+        t = EventTrace()
+        t.record(0, "x")
+        assert [ev.kind for ev in t] == ["x"]
+
+
+class TestSimulatorIntegration:
+    def test_trace_collected(self):
+        sc = Scenario(n=80, steps=8, warmup=2, speed=2.0, seed=1, max_levels=3)
+        sim = Simulator(sc, trace=True)
+        res = sim.run()
+        assert res.trace is not None
+        assert len(res.trace) > 0
+        kinds = set(res.trace.summary())
+        assert "handoff" in kinds or any(k.startswith("reorg") for k in kinds)
+
+    def test_trace_off_by_default(self):
+        sc = Scenario(n=60, steps=4, warmup=1, speed=2.0, seed=1, max_levels=2)
+        res = Simulator(sc).run()
+        assert res.trace is None
+
+    def test_stationary_trace_empty(self):
+        sc = Scenario(n=60, steps=4, warmup=0, mobility="stationary",
+                      seed=1, max_levels=2)
+        res = Simulator(sc, trace=True).run()
+        assert len(res.trace) == 0

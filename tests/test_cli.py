@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.n == 200
+        assert args.mobility == "random_waypoint"
+
+    def test_experiment_args(self):
+        args = build_parser().parse_args(["experiment", "EXP-T9", "--full"])
+        assert args.exp_id == "EXP-T9"
+        assert args.full
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-T4" in out
+        assert "EXP-A2" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "repro.core" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "EXP-Z9"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_runs(self, capsys):
+        assert main(["experiment", "exp-f1"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-F1" in out
+        assert "level" in out
+
+    def test_simulate_runs(self, capsys):
+        assert main([
+            "simulate", "--n", "60", "--steps", "5", "--warmup", "1",
+            "--seed", "3", "--hops", "euclidean",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "phi" in out
+        assert "gamma_k" in out
+
+    def test_simulate_with_trace(self, capsys):
+        assert main([
+            "simulate", "--n", "60", "--steps", "5", "--warmup", "1",
+            "--seed", "3", "--hops", "euclidean", "--trace",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "event trace" in out
+
+    def test_hierarchy(self, capsys):
+        assert main(["hierarchy", "--n", "50", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "level 0:" in out
+
+    def test_hierarchy_tree(self, capsys):
+        assert main(["hierarchy", "--n", "50", "--seed", "2", "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster" in out
+
+
+class TestReportCommand:
+    def test_report_stdout(self, capsys):
+        assert main(["report", "--experiments", "EXP-F1", "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+        assert "EXP-F1" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "r.md"
+        assert main(["report", "--experiments", "EXP-F2", "--seeds", "0",
+                     "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "EXP-F2" in out_file.read_text()
+        assert "report written" in capsys.readouterr().out
+
+    def test_simulate_persistent_mode(self, capsys):
+        assert main([
+            "simulate", "--n", "60", "--steps", "4", "--warmup", "1",
+            "--seed", "3", "--hops", "euclidean", "--election", "persistent",
+        ]) == 0
+        assert "phi" in capsys.readouterr().out

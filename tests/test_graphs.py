@@ -1,0 +1,107 @@
+"""Tests for the compact graph kernels."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import DiscRegion
+from repro.graphs import CompactGraph, bfs_distances, bfs_path
+from repro.radio import unit_disk_edges
+
+
+class TestCompactGraph:
+    def test_neighbors(self):
+        g = CompactGraph([1, 2, 3], [[1, 2], [2, 3]])
+        assert sorted(g.neighbors(2).tolist()) == [1, 3]
+        assert g.degree(2) == 2
+        assert g.degree(1) == 1
+
+    def test_arbitrary_ids(self):
+        g = CompactGraph([10, 500, 77], [[10, 500]])
+        assert g.neighbors(10).tolist() == [500]
+        assert g.degree(77) == 0
+
+    def test_unknown_id(self):
+        g = CompactGraph([1, 2], [[1, 2]])
+        with pytest.raises(KeyError):
+            g.neighbors(9)
+
+    def test_bad_edges(self):
+        with pytest.raises(ValueError):
+            CompactGraph([1, 2], [[1, 5]])
+
+    def test_empty_graph(self):
+        g = CompactGraph([1, 2, 3], np.empty((0, 2)))
+        assert g.n == 3
+        assert g.degree(1) == 0
+
+
+class TestBFS:
+    def test_distances_chain(self):
+        g = CompactGraph(range(5), [[0, 1], [1, 2], [2, 3], [3, 4]])
+        d = bfs_distances(g, 0)
+        assert d.tolist() == [0, 1, 2, 3, 4]
+
+    def test_unreachable(self):
+        g = CompactGraph(range(4), [[0, 1], [2, 3]])
+        d = bfs_distances(g, 0)
+        assert d.tolist() == [0, 1, -1, -1]
+
+    def test_path_exact(self):
+        g = CompactGraph(range(5), [[0, 1], [1, 2], [2, 3], [3, 4], [0, 4]])
+        p = bfs_path(g, 0, 3)
+        assert p in ([0, 1, 2, 3], [0, 4, 3])
+        assert len(p) == 4 or len(p) == 3
+        assert bfs_path(g, 0, 3) == p  # deterministic
+
+    def test_path_same_node(self):
+        g = CompactGraph([1, 2], [[1, 2]])
+        assert bfs_path(g, 1, 1) == [1]
+
+    def test_path_unreachable(self):
+        g = CompactGraph(range(4), [[0, 1], [2, 3]])
+        assert bfs_path(g, 0, 3) is None
+
+    def test_restricted_bfs(self):
+        # 0-1-2 and 0-3-2: forbid node 1, path must go through 3.
+        g = CompactGraph(range(4), [[0, 1], [1, 2], [0, 3], [3, 2]])
+        allowed = np.array([True, False, True, True])
+        p = bfs_path(g, 0, 2, restrict_idx=allowed)
+        assert p == [0, 3, 2]
+        d = bfs_distances(g, 0, restrict_idx=allowed)
+        assert d[1] == -1
+        assert d[2] == 2
+
+    def test_restricted_source_blocked(self):
+        g = CompactGraph(range(2), [[0, 1]])
+        allowed = np.array([False, True])
+        assert bfs_path(g, 0, 1, restrict_idx=allowed) is None
+        assert (bfs_distances(g, 0, restrict_idx=allowed) == -1).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31), n=st.integers(2, 60))
+def test_bfs_matches_networkx_property(seed, n):
+    rng = np.random.default_rng(seed)
+    pts = DiscRegion(1.0).sample(n, rng)
+    edges = unit_disk_edges(pts, 0.4)
+    g = CompactGraph(np.arange(n), edges)
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(n))
+    nxg.add_edges_from(map(tuple, edges.tolist()))
+    src = int(rng.integers(n))
+    ref = nx.single_source_shortest_path_length(nxg, src)
+    ours = bfs_distances(g, src)
+    for v in range(n):
+        assert ours[v] == ref.get(v, -1)
+    # Path length agrees with distance for a random reachable target.
+    reach = [v for v in range(n) if v != src and ours[v] > 0]
+    if reach:
+        t = reach[int(rng.integers(len(reach)))]
+        p = bfs_path(g, src, t)
+        assert p[0] == src and p[-1] == t
+        assert len(p) - 1 == ours[t]
+        for a, b in zip(p, p[1:]):
+            assert nxg.has_edge(a, b)

@@ -1,0 +1,112 @@
+"""Tests for the SVG renderer."""
+
+import re
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.geometry import disc_for_density
+from repro.hierarchy import build_hierarchy
+from repro.radio import radius_for_degree, unit_disk_edges
+from repro.viz import SvgCanvas, render_network_svg
+from repro.viz.svg import _convex_hull
+
+
+@pytest.fixture(scope="module")
+def network():
+    n, density = 80, 0.02
+    region = disc_for_density(n, density)
+    rng = np.random.default_rng(0)
+    pts = region.sample(n, rng)
+    r_tx = radius_for_degree(9.0, density)
+    edges = unit_disk_edges(pts, r_tx)
+    h = build_hierarchy(np.arange(n), edges, max_levels=2,
+                        level_mode="radio", positions=pts, r0=r_tx)
+    return pts, edges, h
+
+
+class TestSvgCanvas:
+    def test_requires_points(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            SvgCanvas(np.zeros((3, 3)))
+
+    def test_mapping_preserves_order(self):
+        pts = np.array([[0.0, 0.0], [10.0, 10.0]])
+        c = SvgCanvas(pts, width=100, padding=10)
+        x0, y0 = c.xy(pts[0])
+        x1, y1 = c.xy(pts[1])
+        assert x1 > x0
+        assert y1 < y0  # y axis flipped
+
+    def test_primitives_emitted(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        c = SvgCanvas(pts)
+        c.line(pts[0], pts[1])
+        c.circle(pts[0], title="node")
+        c.polygon(pts.tolist() + [[0.0, 1.0]])
+        c.text(pts[1], "hello")
+        svg = c.to_svg()
+        for tag in ("<line", "<circle", "<polygon", "<text", "<title>"):
+            assert tag in svg
+
+    def test_save(self, tmp_path):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        c = SvgCanvas(pts)
+        p = c.save(tmp_path / "a" / "x.svg")
+        assert p.exists()
+
+
+class TestConvexHull:
+    def test_square(self):
+        pts = np.array([[0, 0], [1, 0], [1, 1], [0, 1], [0.5, 0.5]], dtype=float)
+        hull = _convex_hull(pts)
+        assert len(hull) == 4
+        assert [0.5, 0.5] not in hull.tolist()
+
+    def test_degenerate(self):
+        assert len(_convex_hull(np.array([[0.0, 0.0]]))) == 1
+        assert len(_convex_hull(np.array([[0.0, 0.0], [1.0, 1.0]]))) == 2
+
+    def test_matches_scipy(self):
+        from scipy.spatial import ConvexHull
+
+        rng = np.random.default_rng(1)
+        pts = rng.random((50, 2))
+        ours = {tuple(p) for p in _convex_hull(pts).tolist()}
+        ref = {tuple(pts[i]) for i in ConvexHull(pts).vertices}
+        assert ours == ref
+
+
+class TestRenderNetwork:
+    def test_valid_xml(self, network):
+        pts, edges, h = network
+        svg = render_network_svg(pts, edges, hierarchy=h)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_plain_mode(self, network):
+        pts, edges, _ = network
+        svg = render_network_svg(pts, edges)
+        assert svg.count("<circle") == len(pts)
+
+    def test_hierarchy_mode_draws_hulls_and_heads(self, network):
+        pts, edges, h = network
+        svg = render_network_svg(pts, edges, hierarchy=h, hull_level=1)
+        assert "<polygon" in svg
+        assert "head " in svg  # head titles
+
+    def test_route_highlighted(self, network):
+        pts, edges, h = network
+        svg = render_network_svg(pts, edges, hierarchy=h, route=[0, 1, 2])
+        assert "source" in svg and "destination" in svg
+        assert re.search(r'stroke="#e15759" stroke-width="2.2"', svg)
+
+    def test_writes_file(self, network, tmp_path):
+        pts, edges, h = network
+        out = tmp_path / "net.svg"
+        render_network_svg(pts, edges, hierarchy=h, path=out)
+        assert out.exists()
+        ET.fromstring(out.read_text())
