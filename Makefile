@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-all
+
+test:  ## tier-1 test suite
+	$(PYTHON) -m pytest -x -q
+
+bench:  ## kernel microbenchmarks -> BENCH_kernels.json (perf trajectory across PRs)
+	$(PYTHON) -m pytest benchmarks/bench_kernels.py --benchmark-only \
+		--benchmark-json=BENCH_kernels.json
+	@$(PYTHON) -c "import json; d=json.load(open('BENCH_kernels.json')); \
+		print('\n'.join(f\"{b['name']}: {b['stats']['mean']*1e3:.3f} ms\" for b in d['benchmarks']))"
+
+bench-all:  ## every experiment benchmark (slow; regenerates all paper tables)
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -102,3 +102,57 @@ def test_bench_simulator_step(benchmark):
 
     res = benchmark.pedantic(one_run, rounds=3, iterations=1, warmup_rounds=1)
     assert res.elapsed > 0
+
+
+@pytest.fixture(scope="module")
+def snapshot_pair(deployment):
+    """Two consecutive unit-disk snapshots (one mobility step apart),
+    as the sorted encoded-key arrays the diff kernel consumes."""
+    pts, r_tx, edges = deployment
+    rng = np.random.default_rng(1)
+    pts2 = pts + rng.normal(scale=r_tx * 0.1, size=pts.shape)
+    edges2 = unit_disk_edges(pts2, r_tx)
+    from repro.radio.unit_disk import encode_edges
+
+    k1 = np.sort(encode_edges(edges, N))
+    k2 = np.sort(encode_edges(edges2, N))
+    return k1, k2
+
+
+def test_bench_edge_diff_kernel(benchmark, snapshot_pair):
+    from repro.sim.kernels import count_drift, diff_keys
+
+    k1, k2 = snapshot_pair
+    ids = np.arange(N)
+
+    def diff_and_drift():
+        changed = diff_keys(k1, k2)
+        return count_drift(changed, N, ids, ids)
+
+    drift = benchmark(diff_and_drift)
+    assert drift > 0  # mobility produced link events
+
+
+def test_bench_giant_fraction(benchmark, deployment):
+    from repro.sim.kernels import giant_fraction
+
+    _, _, edges = deployment
+    g = CompactGraph(np.arange(N), edges)
+    frac = benchmark(giant_fraction, g)
+    assert frac > 0.9  # supercritical deployment
+
+
+def test_bench_parallel_sweep_small(benchmark):
+    """A 2-worker sweep of 4 small scenarios — spawn + fan-out overhead
+    included, the wide-grid building block."""
+    from repro.sim import Scenario, expand_grid, run_sweep
+
+    base = Scenario(n=120, steps=5, warmup=1, speed=1.0,
+                    hop_mode="euclidean", max_levels=2)
+    grid = expand_grid(base, [120], seeds=(0, 1, 2, 3))
+
+    def one_sweep():
+        return run_sweep(grid, hop_sample_every=1000, workers=2)
+
+    results = benchmark.pedantic(one_sweep, rounds=1, iterations=1)
+    assert len(results) == 4 and all(r.f0 > 0 for r in results)

@@ -7,9 +7,15 @@ and fits the total against the competing growth shapes.  This is the
 executable version of the paper's conclusion: "the capacity of MANET
 links need only grow at a polylogarithmic rate".
 
-Run:  python examples/scaling_study.py [--full] [--parallel]
+Runs on the cached sweep runner (:mod:`repro.sim.sweep`): pass
+``--parallel`` to fan the grid over all cores and ``--cache`` to
+memoize finished simulations on disk, so re-running the study (or
+widening the grid) only simulates what is new.
+
+Run:  python examples/scaling_study.py [--full] [--parallel] [--cache]
 """
 
+import os
 import sys
 from dataclasses import replace
 
@@ -19,11 +25,9 @@ from repro.analysis import (
     compare_shapes,
     fit_power,
     levels_for,
-    parallel_sweep,
     shape_by_flatness,
-    sweep,
 )
-from repro.sim import Scenario
+from repro.sim import Scenario, cached_sweep, default_cache_dir, print_progress
 
 METRICS = {
     "phi": lambda r: r.phi,
@@ -35,20 +39,25 @@ METRICS = {
 def main():
     full = "--full" in sys.argv
     use_parallel = "--parallel" in sys.argv
+    use_cache = "--cache" in sys.argv
     ns = (100, 200, 400, 800, 1600, 3200) if full else (100, 200, 400, 800)
     seeds = (0, 1, 2) if full else (0, 1)
     steps = 80 if full else 40
 
     base = Scenario(n=100, steps=steps, warmup=10, speed=1.0,
                     hop_mode="euclidean")
-    runner = parallel_sweep if use_parallel else sweep
+    workers = (os.cpu_count() or 1) if use_parallel else 0
     print(f"sweeping n in {ns} with {len(seeds)} seeds, {steps} steps each"
-          f" ({'parallel' if use_parallel else 'serial'})...")
-    points = runner(
+          f" ({'parallel' if use_parallel else 'serial'}"
+          f"{', cached' if use_cache else ''})...")
+    points = cached_sweep(
         ns, base,
         metrics=METRICS,
         seeds=seeds,
         scenario_for=lambda sc, n: replace(sc, max_levels=levels_for(n)),
+        workers=workers,
+        cache_dir=default_cache_dir() if use_cache else None,
+        progress=print_progress,
     )
 
     print(f"\n{'n':>6} {'L':>3} {'phi':>8} {'gamma':>8} {'total':>8} "

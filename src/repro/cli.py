@@ -5,6 +5,7 @@
     python -m repro list
     python -m repro experiment EXP-T4 [--full] [--seeds 0,1]
     python -m repro simulate --n 300 --steps 60 --speed 1.5 [--trace]
+    python -m repro sweep --ns 200,400,800 --seeds 0,1,2 --workers 4
     python -m repro hierarchy --n 120 [--seed 7]
     python -m repro info
 
@@ -70,6 +71,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated experiment ids (default: all)")
     p_rep.add_argument("--full", action="store_true", help="wide grids")
     p_rep.add_argument("--seeds", default="0,1")
+
+    p_sw = sub.add_parser(
+        "sweep",
+        help="run a sizes x seeds scenario grid (parallel, result-cached)")
+    p_sw.add_argument("--ns", default="100,200,400",
+                      help="comma-separated node counts (default 100,200,400)")
+    p_sw.add_argument("--seeds", default="0,1",
+                      help="comma-separated seeds (default 0,1)")
+    p_sw.add_argument("--steps", type=int, default=40)
+    p_sw.add_argument("--warmup", type=int, default=10)
+    p_sw.add_argument("--speed", type=float, default=1.0)
+    p_sw.add_argument("--dt", type=float, default=1.0)
+    p_sw.add_argument("--density", type=float, default=0.02)
+    p_sw.add_argument("--degree", type=float, default=9.0)
+    p_sw.add_argument("--hops", default="euclidean",
+                      choices=["auto", "bfs", "euclidean"])
+    p_sw.add_argument("--workers", type=int, default=None,
+                      help="process count (default: REPRO_SWEEP_WORKERS or serial)")
+    p_sw.add_argument("--cache-dir", default=None,
+                      help="result cache directory "
+                           "(default: ~/.cache/repro/sweeps)")
+    p_sw.add_argument("--no-cache", action="store_true",
+                      help="always re-simulate, never touch the cache")
+    p_sw.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the aggregated points as JSON")
+    p_sw.add_argument("--quiet", action="store_true",
+                      help="suppress per-task progress lines")
 
     p_h = sub.add_parser("hierarchy", help="build and render a hierarchy")
     p_h.add_argument("--n", type=int, default=100)
@@ -185,6 +213,58 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.analysis import compare_shapes, levels_for
+    from repro.sim import Scenario, cached_sweep, default_cache_dir, print_progress
+
+    ns = tuple(int(x) for x in args.ns.split(",") if x.strip())
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
+    if not ns or not seeds:
+        print("need at least one size and one seed", file=sys.stderr)
+        return 2
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    base = Scenario(
+        n=ns[0], steps=args.steps, warmup=args.warmup, speed=args.speed,
+        dt=args.dt, density=args.density, target_degree=args.degree,
+        hop_mode=args.hops,
+    )
+    metrics = {
+        "phi": lambda r: r.phi,
+        "gamma": lambda r: r.gamma,
+        "total": lambda r: r.handoff_rate,
+    }
+    from dataclasses import replace
+
+    points = cached_sweep(
+        ns, base, metrics, seeds=seeds,
+        scenario_for=lambda sc, n: replace(sc, max_levels=levels_for(n)),
+        workers=args.workers, cache_dir=cache_dir,
+        progress=None if args.quiet else print_progress,
+    )
+    print(f"{'n':>6} {'L':>3} {'phi':>8} {'gamma':>8} {'total':>8} "
+          f"{'total/log^2n':>13}")
+    for p in points:
+        print(f"{p.n:>6} {levels_for(p.n):>3} {p['phi']:>8.4f} "
+              f"{p['gamma']:>8.4f} {p['total']:>8.4f} "
+              f"{p['total'] / np.log(p.n) ** 2:>13.5f}")
+    if len(points) >= 3:
+        xs = [p.n for p in points]
+        ys = [p["total"] for p in points]
+        fits = compare_shapes(xs, ys, shapes=("log2", "sqrt", "log", "linear"))
+        print(f"AIC best shape: {fits[0].shape}; "
+              f"ranking: {[f.shape for f in fits]}")
+    if args.json:
+        from repro.persist import save_sweep
+
+        save_sweep(points, args.json, meta={
+            "ns": list(ns), "seeds": list(seeds), "steps": args.steps,
+            "speed": args.speed, "dt": args.dt, "density": args.density,
+            "target_degree": args.degree, "hop_mode": args.hops,
+        })
+        print(f"points written to {args.json}")
+    return 0
+
+
 def _cmd_hierarchy(args) -> int:
     from repro.geometry import disc_for_density
     from repro.hierarchy import build_hierarchy, render_hierarchy, render_summary
@@ -231,6 +311,8 @@ def main(argv=None) -> int:
         return _cmd_experiment(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "hierarchy":
         return _cmd_hierarchy(args)
     if args.command == "report":

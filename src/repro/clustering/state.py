@@ -78,6 +78,11 @@ class StateTracker:
     _prev: Election | None = None
     series: list[dict[int, int]] = field(default_factory=list)
 
+    @property
+    def samples(self) -> int:
+        """Total node-step samples observed so far."""
+        return self._samples
+
     def observe(self, election: Election) -> None:
         """Record one election snapshot for this level."""
         states = election.elector_count

@@ -22,6 +22,7 @@ from repro.experiments.common import ExperimentResult
 from repro.geometry import disc_for_density
 from repro.mobility import RandomWaypoint
 from repro.radio import radius_for_degree
+from repro.sim import parallel_map
 from repro.sim.hops import EuclideanHops
 
 __all__ = ["run"]
@@ -72,7 +73,13 @@ def _one_run(n: int, speed: float, steps: int, seed: int,
     }
 
 
-def run(quick: bool = True, seeds=(0, 1)) -> ExperimentResult:
+def _one_run_task(args: tuple[int, float, int, int]) -> dict[str, float]:
+    """Picklable wrapper so the grid fans out via the sweep runner."""
+    return _one_run(*args)
+
+
+def run(quick: bool = True, seeds=(0, 1),
+        workers: int | None = None) -> ExperimentResult:
     """Run this experiment; returns the printable table (see module docstring)."""
     n = 300 if quick else 800
     steps = 15 if quick else 40
@@ -84,10 +91,12 @@ def run(quick: bool = True, seeds=(0, 1)) -> ExperimentResult:
         columns=["speed (m/s)", "delivered", "resolved", "stale addr",
                  "query pkts", "data hops"],
     )
-    for mu in speeds:
+    tasks = [(n, mu, steps, seed) for mu in speeds for seed in seeds]
+    metrics = parallel_map(_one_run_task, tasks, workers=workers)
+    per_speed = len(list(seeds))
+    for i, mu in enumerate(speeds):
         acc: dict[str, list[float]] = {}
-        for seed in seeds:
-            m = _one_run(n, mu, steps, seed)
+        for m in metrics[i * per_speed : (i + 1) * per_speed]:
             for k, v in m.items():
                 acc.setdefault(k, []).append(v)
         mean = {k: float(np.mean(v)) for k, v in acc.items()}

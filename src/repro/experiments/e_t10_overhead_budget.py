@@ -9,26 +9,69 @@ The conclusion argues the total control budget decomposes into
 
 This experiment meters all three from one simulation per size and
 reports their shares, plus the measured query cost relative to the
-session path length it precedes.
+session path length it precedes.  The simulations run through the
+sweep runner (:mod:`repro.sim.sweep`), so they parallelize across
+workers and memoize in the result cache; the query-cost probe replays
+the final topology from ``SimResult.final_positions`` without
+re-simulating.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.analysis import fit_power, levels_for
-from repro.core import resolve
+from repro.core import full_assignment, resolve
 from repro.experiments.common import ExperimentResult
-from repro.sim import Scenario, Simulator
+from repro.hierarchy import build_hierarchy
+from repro.radio import unit_disk_edges
+from repro.sim import Scenario, expand_grid, run_sweep
 from repro.sim.hops import EuclideanHops
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seeds=(0, 1)) -> ExperimentResult:
+def _query_probe(res) -> tuple[list[float], list[float]]:
+    """Query cost on a run's final snapshot: (packet counts, ratios)."""
+    sc = res.scenario
+    pts = res.final_positions
+    edges = unit_disk_edges(pts, sc.r_tx)
+    hier = build_hierarchy(
+        np.arange(sc.n), edges, max_levels=levels_for(sc.n),
+        level_mode="radio", positions=pts, r0=sc.r_tx,
+    )
+    assignment = full_assignment(hier)
+    hop = EuclideanHops(pts, sc.r_tx)
+    rng = np.random.default_rng(sc.seed + 1000)
+    q_costs, q_ratios = [], []
+    for _ in range(30):
+        s, d = (int(x) for x in rng.integers(0, sc.n, size=2))
+        if s == d:
+            continue
+        q = resolve(hier, assignment, s, d, hop)
+        if q.hit_level >= 0:
+            q_costs.append(q.packets)
+            session = max(hop(s, d), 1)
+            q_ratios.append(q.packets / session)
+    return q_costs, q_ratios
+
+
+def run(quick: bool = True, seeds=(0, 1), workers: int | None = None,
+        cache_dir=None) -> ExperimentResult:
     """Run this experiment; returns the printable table (see module docstring)."""
     ns = (200, 400, 800) if quick else (200, 400, 800, 1600, 3200)
     steps = 40 if quick else 100
+
+    base = Scenario(n=200, steps=steps, warmup=10, speed=1.0,
+                    hop_mode="euclidean")
+    scenarios = expand_grid(
+        base, ns, seeds,
+        scenario_for=lambda sc, n: replace(sc, max_levels=levels_for(n)),
+    )
+    results = run_sweep(scenarios, hop_sample_every=10_000,
+                        workers=workers, cache_dir=cache_dir)
 
     result = ExperimentResult(
         exp_id="EXP-T10",
@@ -37,41 +80,16 @@ def run(quick: bool = True, seeds=(0, 1)) -> ExperimentResult:
                  "query pkts (mean)", "query/session-path"],
     )
     handoffs, regs = [], []
-    for n in ns:
-        h_rates, r_rates, q_costs, q_ratios = [], [], [], []
-        for seed in seeds:
-            sc = Scenario(
-                n=n, steps=steps, warmup=10, speed=1.0, seed=seed,
-                hop_mode="euclidean", max_levels=levels_for(n),
-            )
-            sim = Simulator(sc, hop_sample_every=10_000)
-            res = sim.run()
-            h_rates.append(res.handoff_rate)
-            r_rates.append(res.ledger.registration_rate)
-            # Query cost on the final snapshot.
-            pts = sim.model.positions.copy()
-            from repro.hierarchy import build_hierarchy
-            from repro.radio import unit_disk_edges
-
-            edges = unit_disk_edges(pts, sc.r_tx)
-            hier = build_hierarchy(
-                np.arange(n), edges, max_levels=levels_for(n),
-                level_mode="radio", positions=pts, r0=sc.r_tx,
-            )
-            from repro.core import full_assignment
-
-            assignment = full_assignment(hier)
-            hop = EuclideanHops(pts, sc.r_tx)
-            rng = np.random.default_rng(seed + 1000)
-            for _ in range(30):
-                s, d = (int(x) for x in rng.integers(0, n, size=2))
-                if s == d:
-                    continue
-                q = resolve(hier, assignment, s, d, hop)
-                if q.hit_level >= 0:
-                    q_costs.append(q.packets)
-                    session = max(hop(s, d), 1)
-                    q_ratios.append(q.packets / session)
+    per_n = len(list(seeds))
+    for i, n in enumerate(ns):
+        chunk = results[i * per_n : (i + 1) * per_n]
+        h_rates = [res.handoff_rate for res in chunk]
+        r_rates = [res.ledger.registration_rate for res in chunk]
+        q_costs, q_ratios = [], []
+        for res in chunk:
+            costs, ratios = _query_probe(res)
+            q_costs.extend(costs)
+            q_ratios.extend(ratios)
         handoff = float(np.mean(h_rates))
         reg = float(np.mean(r_rates))
         handoffs.append(handoff)

@@ -10,17 +10,29 @@ from __future__ import annotations
 
 import numpy as np
 
+from dataclasses import replace
+
 from repro.analysis import fit_shape, levels_for
 from repro.experiments.common import ExperimentResult
-from repro.sim import Scenario, run_scenario
+from repro.sim import Scenario, expand_grid, run_sweep
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seeds=(0, 1)) -> ExperimentResult:
+def run(quick: bool = True, seeds=(0, 1), workers: int | None = None,
+        cache_dir=None) -> ExperimentResult:
     """Run this experiment; returns the printable table (see module docstring)."""
     ns = (400, 800) if quick else (400, 800, 1600, 3200)
     steps = 40 if quick else 100
+
+    base = Scenario(n=400, steps=steps, warmup=10, speed=1.0,
+                    hop_mode="euclidean")
+    scenarios = expand_grid(
+        base, ns, seeds,
+        scenario_for=lambda sc, n: replace(sc, max_levels=levels_for(n)),
+    )
+    results = run_sweep(scenarios, hop_sample_every=max(steps // 3, 1),
+                        workers=workers, cache_dir=cache_dir)
 
     result = ExperimentResult(
         exp_id="EXP-T3",
@@ -28,15 +40,11 @@ def run(quick: bool = True, seeds=(0, 1)) -> ExperimentResult:
         columns=["n", "level k", "f_k (events/node/s)", "h_k", "f_k * h_k"],
     )
     products = []
-    for n in ns:
+    per_n = len(list(seeds))
+    for i, n in enumerate(ns):
         fk_acc: dict[int, list[float]] = {}
         hk_acc: dict[int, list[float]] = {}
-        for seed in seeds:
-            sc = Scenario(
-                n=n, steps=steps, warmup=10, speed=1.0, seed=seed,
-                hop_mode="euclidean", max_levels=levels_for(n),
-            )
-            res = run_scenario(sc, hop_sample_every=max(steps // 3, 1))
+        for res in results[i * per_n : (i + 1) * per_n]:
             for k, v in res.ledger.f_k().items():
                 fk_acc.setdefault(k, []).append(v)
             for k, v in res.mean_h_k().items():

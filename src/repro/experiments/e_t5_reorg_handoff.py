@@ -17,27 +17,29 @@ from repro.analysis import (
     fit_power,
     levels_for,
     shape_by_flatness,
-    sweep,
 )
 from repro.core import EventKind
 from repro.experiments.common import ExperimentResult
-from repro.sim import Scenario
+from repro.sim import Scenario, cached_sweep
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True, seeds=(0, 1)) -> ExperimentResult:
+def run(quick: bool = True, seeds=(0, 1), workers: int | None = None,
+        cache_dir=None) -> ExperimentResult:
     """Run this experiment; returns the printable table (see module docstring)."""
     ns = (100, 200, 400, 800, 1600) if quick else (100, 200, 400, 800, 1600, 3200, 6400)
     steps = 40 if quick else 100
     base = Scenario(n=100, steps=steps, warmup=10, speed=1.0, hop_mode="euclidean")
 
-    points = sweep(
+    points = cached_sweep(
         ns, base,
         metrics={"gamma": lambda r: r.gamma},
         seeds=seeds,
         scenario_for=lambda sc, n: replace(sc, max_levels=levels_for(n)),
         keep_results=True,
+        workers=workers,
+        cache_dir=cache_dir,
     )
 
     result = ExperimentResult(

@@ -6,6 +6,17 @@ from repro.sim.metrics import LevelSeries, SimResult
 from repro.sim.presets import PRESETS, make_scenario
 from repro.sim.rng import spawn_rngs
 from repro.sim.scenario import Scenario
+from repro.sim.sweep import (
+    CODE_VERSION,
+    SweepProgress,
+    cached_sweep,
+    default_cache_dir,
+    expand_grid,
+    parallel_map,
+    print_progress,
+    run_sweep,
+    scenario_key,
+)
 from repro.sim.trace import EventTrace, TraceEvent
 
 __all__ = [
@@ -21,4 +32,13 @@ __all__ = [
     "Scenario",
     "EventTrace",
     "TraceEvent",
+    "CODE_VERSION",
+    "SweepProgress",
+    "cached_sweep",
+    "default_cache_dir",
+    "expand_grid",
+    "parallel_map",
+    "print_progress",
+    "run_sweep",
+    "scenario_key",
 ]

@@ -27,6 +27,14 @@ from repro.mobility import make_model
 from repro.radio.linkevents import LinkTracker
 from repro.radio.unit_disk import unit_disk_edges
 from repro.sim.hops import BfsHops, EuclideanHops
+from repro.sim.kernels import (
+    EMPTY_IDS,
+    EMPTY_KEYS,
+    count_drift,
+    diff_keys,
+    giant_fraction,
+    level_edge_keys,
+)
 from repro.sim.metrics import LevelSeries, SimResult
 from repro.sim.rng import spawn_rngs
 from repro.sim.scenario import Scenario
@@ -134,20 +142,6 @@ class Simulator:
             return BfsHops(CompactGraph(np.arange(self.sc.n), edges))
         return EuclideanHops(positions, self.sc.r_tx, self.sc.detour)
 
-    @staticmethod
-    def _level_edge_sets(
-        h: ClusteredHierarchy,
-    ) -> dict[int, tuple[set[tuple[int, int]], set[int]]]:
-        """Per level k >= 1: (edge set, node set)."""
-        return {
-            lvl.k: (
-                {tuple(e) for e in lvl.edges.tolist()},
-                set(lvl.node_ids.tolist()),
-            )
-            for lvl in h.levels
-            if lvl.k >= 1
-        }
-
     # -- main loop -----------------------------------------------------------------
 
     def run(self) -> SimResult:
@@ -166,14 +160,13 @@ class Simulator:
         degree_sum = 0.0
         giant_sum = 0.0
         giant_samples = 0
-        prev_level_edges: dict[int, set[tuple[int, int]]] | None = None
 
         # Baseline snapshot (not metered).
         positions = self.model.positions.copy()
         edges, hierarchy = self._build(positions)
         engine.observe(hierarchy, self._hop_fn(positions, edges))
         link_tracker.observe(edges)
-        prev_level_edges = self._level_edge_sets(hierarchy)
+        prev_level_edges = level_edge_keys(hierarchy, sc.n)
         self._observe_states(state_trackers, hierarchy)
         prev_hierarchy = hierarchy
 
@@ -207,16 +200,13 @@ class Simulator:
                         gamma=report.gamma_packets,
                     )
 
-            cur_level_edges = self._level_edge_sets(hierarchy)
+            cur_level_edges = level_edge_keys(hierarchy, sc.n)
             for k in set(cur_level_edges) | set(prev_level_edges):
-                before, nodes_before = prev_level_edges.get(k, (set(), set()))
-                after, nodes_after = cur_level_edges.get(k, (set(), set()))
-                changed = before ^ after
-                persistent = nodes_before & nodes_after
-                drift = sum(
-                    1 for u, v in changed if u in persistent and v in persistent
-                )
-                level_series.add_link_events(k, len(changed), drift)
+                before, nodes_before = prev_level_edges.get(k, (EMPTY_KEYS, EMPTY_IDS))
+                after, nodes_after = cur_level_edges.get(k, (EMPTY_KEYS, EMPTY_IDS))
+                changed = diff_keys(before, after)
+                drift = count_drift(changed, sc.n, nodes_before, nodes_after)
+                level_series.add_link_events(k, int(changed.size), drift)
             prev_level_edges = cur_level_edges
 
             for lvl in hierarchy.levels:
@@ -239,8 +229,7 @@ class Simulator:
                 ).items():
                     if val > 0:
                         h_levels.setdefault(k, []).append(val)
-                comp_sizes = self._giant_fraction(g)
-                giant_sum += comp_sizes
+                giant_sum += giant_fraction(g)
                 giant_samples += 1
 
         elapsed = sc.steps * sc.dt
@@ -250,7 +239,7 @@ class Simulator:
             f0=link_tracker.events_per_node_per_second(elapsed),
             level_series=level_series,
             state_stats={
-                j: t.stats() for j, t in state_trackers.items() if t._samples > 0
+                j: t.stats() for j, t in state_trackers.items() if t.samples > 0
             },
             h_network=h_network,
             h_levels=h_levels,
@@ -258,6 +247,7 @@ class Simulator:
             giant_fraction=giant_sum / giant_samples if giant_samples else 0.0,
             elapsed=elapsed,
             trace=self.trace,
+            final_positions=positions,
         )
 
     @staticmethod
@@ -266,29 +256,6 @@ class Simulator:
             if lvl.election is None:
                 continue
             trackers.setdefault(lvl.k, StateTracker()).observe(lvl.election)
-
-    @staticmethod
-    def _giant_fraction(g: CompactGraph) -> float:
-        """Largest-component fraction via one BFS sweep."""
-        seen = np.zeros(g.n, dtype=bool)
-        best = 0
-        from collections import deque
-
-        for start in range(g.n):
-            if seen[start]:
-                continue
-            size = 0
-            q = deque([start])
-            seen[start] = True
-            while q:
-                u = q.popleft()
-                size += 1
-                for w in g.neighbors_idx(u):
-                    if not seen[w]:
-                        seen[w] = True
-                        q.append(w)
-            best = max(best, size)
-        return best / g.n
 
 
 def run_scenario(scenario: Scenario, hop_sample_every: int = 25) -> SimResult:

@@ -99,6 +99,10 @@ class SimResult:
     trace: "object | None" = None
     """Optional :class:`~repro.sim.trace.EventTrace` (set when the
     simulator ran with ``trace=True``)."""
+    final_positions: np.ndarray | None = None
+    """Node positions at the last metered step — lets post-run analyses
+    (e.g. EXP-T10's query-cost probe) rebuild the final topology from a
+    cached result without re-simulating."""
 
     # -- convenience views -------------------------------------------------------
 

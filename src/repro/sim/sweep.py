@@ -1,0 +1,328 @@
+"""Process-parallel sweep runner with scenario-hash result caching.
+
+Every experiment runs the same outer loop: a grid of
+:class:`~repro.sim.scenario.Scenario` specs (sizes x seeds), one
+independent simulation per spec.  This module owns that loop at
+production scale:
+
+* **Grid expansion** (:func:`expand_grid`) builds the scenario list from
+  a base scenario, a size axis, and a seed axis, spawning deterministic
+  per-task seeds — the task list is a pure function of its inputs.
+* **Parallel execution** (:func:`run_sweep`) fans tasks over a
+  ``ProcessPoolExecutor``, streams completions back through a progress
+  callback, and returns results in task order — bit-identical to a
+  serial loop over the same scenarios (each run is independently
+  seeded; no shared mutable state crosses the process boundary).
+* **Result caching**: completed runs are memoized on disk, keyed by a
+  stable SHA-256 of the scenario dataclass, the sampling cadence, and
+  :data:`CODE_VERSION`.  Re-running an experiment or benchmark reuses
+  finished simulations; bump ``CODE_VERSION`` whenever simulator
+  semantics change so stale artifacts can never be replayed.
+
+Caching is opt-in (``cache_dir=...`` or ``REPRO_SWEEP_CACHE=1`` for the
+default location) so tests and one-off runs stay side-effect free.
+Workers default to serial in-process execution unless
+``REPRO_SWEEP_WORKERS`` or an explicit ``workers=`` says otherwise —
+spawn overhead only pays off on wide grids.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.sim.engine import run_scenario
+from repro.sim.metrics import SimResult
+from repro.sim.scenario import Scenario
+
+__all__ = [
+    "CODE_VERSION",
+    "SweepProgress",
+    "scenario_key",
+    "default_cache_dir",
+    "expand_grid",
+    "run_sweep",
+    "cached_sweep",
+    "parallel_map",
+    "print_progress",
+]
+
+CODE_VERSION = "1"
+"""Simulator-semantics version baked into every cache key.  Bump this
+whenever a change alters what :func:`repro.sim.engine.run_scenario`
+returns for a given scenario; old cache entries then miss cleanly."""
+
+
+# -- cache keys ---------------------------------------------------------------------
+
+
+def scenario_key(scenario: Scenario, hop_sample_every: int = 1000) -> str:
+    """Stable SHA-256 cache key for one (scenario, sampling-cadence) run.
+
+    The key covers every scenario field (via a sorted JSON dump of the
+    dataclass), the hop-sampling cadence, and :data:`CODE_VERSION` —
+    everything that determines the resulting
+    :class:`~repro.sim.metrics.SimResult`.
+    """
+    spec = dataclasses.asdict(scenario)
+    payload = json.dumps(
+        {
+            "scenario": spec,
+            "hop_sample_every": int(hop_sample_every),
+            "code_version": CODE_VERSION,
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/sweeps``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "sweeps"
+
+
+def _cache_load(path: Path) -> SimResult | None:
+    try:
+        with path.open("rb") as fh:
+            res = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return None
+    return res if isinstance(res, SimResult) else None
+
+
+def _cache_store(path: Path, res: SimResult) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp-{os.getpid()}")
+    with tmp.open("wb") as fh:
+        pickle.dump(res, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp.replace(path)  # atomic: concurrent sweeps never see partial files
+
+
+# -- grid expansion -----------------------------------------------------------------
+
+
+def expand_grid(
+    base: Scenario,
+    ns: Sequence[int] | None = None,
+    seeds: Sequence[int] = (0, 1),
+    scenario_for: Callable[[Scenario, int], Scenario] | None = None,
+) -> list[Scenario]:
+    """Expand (sizes x seeds) into a deterministic scenario list.
+
+    Mirrors the loop of :func:`repro.analysis.scaling.sweep`: for each
+    ``n``, set it on the base, apply the optional ``scenario_for`` hook
+    (e.g. log-scaled ``max_levels``), then spawn one scenario per seed.
+    ``ns=None`` keeps the base size and varies only the seed axis.
+    """
+    out: list[Scenario] = []
+    for n in [base.n] if ns is None else ns:
+        sc_n = replace(base, n=int(n))
+        if scenario_for is not None:
+            sc_n = scenario_for(sc_n, int(n))
+        for seed in seeds:
+            out.append(replace(sc_n, seed=int(seed)))
+    return out
+
+
+# -- execution ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One completion event, streamed to the progress callback."""
+
+    done: int
+    total: int
+    cached: int
+    scenario: Scenario
+    elapsed: float
+    from_cache: bool
+
+
+def print_progress(p: SweepProgress) -> None:
+    """Default progress reporter: one stderr line per completed task."""
+    tag = "cache" if p.from_cache else "run"
+    print(
+        f"  [{p.done}/{p.total}] n={p.scenario.n} seed={p.scenario.seed} "
+        f"({tag}, {p.elapsed:.1f}s elapsed)",
+        file=sys.stderr,
+    )
+
+
+def _run_task(args: tuple[Scenario, int]) -> SimResult:
+    """Worker: one simulation (module-level so it pickles)."""
+    scenario, hop_sample_every = args
+    return run_scenario(scenario, hop_sample_every=hop_sample_every)
+
+
+def _resolve_workers(workers: int | None, n_tasks: int) -> int:
+    if workers is None:
+        workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "0"))
+    if workers <= 1:
+        return 0
+    return min(workers, n_tasks)
+
+
+def run_sweep(
+    scenarios: Sequence[Scenario],
+    *,
+    hop_sample_every: int = 1000,
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    progress: Callable[[SweepProgress], None] | None = None,
+) -> list[SimResult]:
+    """Run every scenario; return results in input order.
+
+    Parameters
+    ----------
+    scenarios:
+        The task list, typically from :func:`expand_grid`.
+    hop_sample_every:
+        Hop-sampling cadence forwarded to the simulator (part of the
+        cache key).
+    workers:
+        Process count.  ``None`` reads ``REPRO_SWEEP_WORKERS`` (default
+        serial); ``0``/``1`` run in-process.  Results are bit-identical
+        either way.
+    cache_dir:
+        Directory for the on-disk result cache.  ``None`` disables
+        caching unless ``REPRO_SWEEP_CACHE=1``, which uses
+        :func:`default_cache_dir`.
+    progress:
+        Callback invoked once per completed task (cache hits included),
+        in completion order.
+    """
+    scenarios = list(scenarios)
+    if not scenarios:
+        return []
+    if cache_dir is None and os.environ.get("REPRO_SWEEP_CACHE"):
+        cache_dir = default_cache_dir()
+    cache = Path(cache_dir).expanduser() if cache_dir is not None else None
+
+    t0 = time.perf_counter()
+    results: list[SimResult | None] = [None] * len(scenarios)
+    pending: list[int] = []
+    done = cached = 0
+    for i, sc in enumerate(scenarios):
+        if cache is not None:
+            hit = _cache_load(cache / f"{scenario_key(sc, hop_sample_every)}.pkl")
+            if hit is not None:
+                results[i] = hit
+                done += 1
+                cached += 1
+                if progress is not None:
+                    progress(SweepProgress(
+                        done, len(scenarios), cached, sc,
+                        time.perf_counter() - t0, True,
+                    ))
+                continue
+        pending.append(i)
+
+    def _finish(i: int, res: SimResult) -> None:
+        nonlocal done
+        results[i] = res
+        if cache is not None:
+            _cache_store(
+                cache / f"{scenario_key(scenarios[i], hop_sample_every)}.pkl", res
+            )
+        done += 1
+        if progress is not None:
+            progress(SweepProgress(
+                done, len(scenarios), cached, scenarios[i],
+                time.perf_counter() - t0, False,
+            ))
+
+    n_workers = _resolve_workers(workers, len(pending))
+    if n_workers == 0:
+        for i in pending:
+            _finish(i, _run_task((scenarios[i], hop_sample_every)))
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = {
+                pool.submit(_run_task, (scenarios[i], hop_sample_every)): i
+                for i in pending
+            }
+            for fut in as_completed(futures):
+                _finish(futures[fut], fut.result())
+    return results  # type: ignore[return-value]
+
+
+def cached_sweep(
+    ns,
+    base: Scenario,
+    metrics: dict[str, Callable[[SimResult], float]],
+    seeds=(0, 1),
+    scenario_for: Callable[[Scenario, int], Scenario] | None = None,
+    hop_sample_every: int = 1000,
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    keep_results: bool = False,
+    progress: Callable[[SweepProgress], None] | None = None,
+) -> list["SweepPoint"]:
+    """Drop-in :func:`repro.analysis.scaling.sweep` on the sweep runner.
+
+    Same aggregation (per-n means and stds of each metric), but the runs
+    go through :func:`run_sweep` — so they parallelize and hit the
+    result cache.  Output is bit-identical to the serial ``sweep`` for
+    the same grid.
+    """
+    # Imported here, not at module top: analysis sits above sim in the
+    # layering (analysis.scaling imports the engine), so a top-level
+    # import would be circular.
+    from repro.analysis.scaling import SweepPoint
+
+    if not metrics:
+        raise ValueError("need at least one metric")
+    seeds = list(seeds)
+    scenarios = expand_grid(base, ns, seeds, scenario_for)
+    results = run_sweep(
+        scenarios,
+        hop_sample_every=hop_sample_every,
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+    )
+    points = []
+    per_n = len(seeds)
+    for i, n in enumerate(ns):
+        chunk = results[i * per_n : (i + 1) * per_n]
+        samples = {
+            name: [float(fn(res)) for res in chunk] for name, fn in metrics.items()
+        }
+        points.append(
+            SweepPoint(
+                n=int(n),
+                values={k: float(np.mean(v)) for k, v in samples.items()},
+                stds={k: float(np.std(v)) for k, v in samples.items()},
+                seeds=per_n,
+                results=tuple(chunk) if keep_results else (),
+            )
+        )
+    return points
+
+
+def parallel_map(fn, items: Sequence, workers: int | None = None) -> list:
+    """Order-preserving map for non-Scenario grids (e.g. EXP-A9's
+    speed x seed runs).  ``fn`` must be module-level picklable; serial
+    when ``workers`` resolves below 2."""
+    items = list(items)
+    n_workers = _resolve_workers(workers, len(items))
+    if n_workers == 0:
+        return [fn(it) for it in items]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(fn, items))

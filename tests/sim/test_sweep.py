@@ -1,0 +1,168 @@
+"""Tests for the parallel sweep runner and its result cache."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import repro.sim.sweep as sweep_mod
+from repro.analysis import sweep
+from repro.sim import (
+    Scenario,
+    cached_sweep,
+    expand_grid,
+    parallel_map,
+    run_sweep,
+    scenario_key,
+)
+
+BASE = Scenario(n=60, steps=5, warmup=1, speed=1.5, hop_mode="euclidean",
+                max_levels=2)
+
+
+def _fingerprint(res):
+    """Every scalar metric stream of a SimResult, for bit-identity checks."""
+    return (
+        res.phi, res.gamma, res.f0, res.handoff_rate, res.mean_degree,
+        res.giant_fraction, res.elapsed,
+        dict(res.level_series.link_events),
+        dict(res.level_series.drift_link_events),
+        dict(res.level_series.address_changes),
+        res.h_network, res.h_levels,
+        res.ledger.phi_k(), res.ledger.gamma_k(), res.ledger.f_k(),
+    )
+
+
+def _double(x: float) -> float:
+    """Module-level so parallel_map can pickle it."""
+    return 2.0 * x
+
+
+class TestExpandGrid:
+    def test_sizes_times_seeds(self):
+        grid = expand_grid(BASE, [60, 90], seeds=(0, 1, 2))
+        assert [(s.n, s.seed) for s in grid] == [
+            (60, 0), (60, 1), (60, 2), (90, 0), (90, 1), (90, 2),
+        ]
+
+    def test_hook_applied_before_seeding(self):
+        grid = expand_grid(
+            BASE, [60], seeds=(5,),
+            scenario_for=lambda sc, n: replace(sc, max_levels=1),
+        )
+        assert grid[0].max_levels == 1 and grid[0].seed == 5
+
+    def test_no_sizes_varies_seeds_only(self):
+        grid = expand_grid(BASE, None, seeds=(0, 1))
+        assert [(s.n, s.seed) for s in grid] == [(60, 0), (60, 1)]
+
+
+class TestDeterminism:
+    def test_parallel_bit_identical_to_serial(self):
+        grid = expand_grid(BASE, [60, 90], seeds=(0, 1))
+        serial = run_sweep(grid, hop_sample_every=4, workers=0)
+        parallel = run_sweep(grid, hop_sample_every=4, workers=2)
+        assert len(serial) == len(parallel) == 4
+        for a, b in zip(serial, parallel):
+            assert a.scenario == b.scenario
+            assert _fingerprint(a) == _fingerprint(b)
+            assert np.array_equal(a.final_positions, b.final_positions)
+
+    def test_cached_sweep_matches_analysis_sweep(self):
+        metrics = {"total": lambda r: r.handoff_rate, "f0": lambda r: r.f0}
+        a = sweep([60, 90], BASE, metrics, seeds=(0, 1))
+        b = cached_sweep([60, 90], BASE, metrics, seeds=(0, 1), workers=2)
+        for p, q in zip(a, b):
+            assert p.n == q.n
+            assert p.values == q.values
+            assert p.stds == q.stds
+
+
+class TestCache:
+    def test_second_invocation_hits_cache(self, tmp_path, monkeypatch):
+        grid = expand_grid(BASE, [60], seeds=(0, 1))
+        first = run_sweep(grid, hop_sample_every=4, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.pkl"))) == 2
+
+        # Any attempt to simulate now is a bug: results must come purely
+        # from the cache.
+        def boom(args):
+            raise AssertionError("cache miss: re-simulated a cached run")
+
+        monkeypatch.setattr(sweep_mod, "_run_task", boom)
+        second = run_sweep(grid, hop_sample_every=4, cache_dir=tmp_path)
+        for a, b in zip(first, second):
+            assert _fingerprint(a) == _fingerprint(b)
+
+    def test_progress_reports_cache_hits(self, tmp_path):
+        grid = expand_grid(BASE, [60], seeds=(0,))
+        run_sweep(grid, hop_sample_every=4, cache_dir=tmp_path)
+        events = []
+        run_sweep(grid, hop_sample_every=4, cache_dir=tmp_path,
+                  progress=events.append)
+        assert [e.from_cache for e in events] == [True]
+        assert events[-1].done == events[-1].total == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        grid = expand_grid(BASE, [60], seeds=(0,))
+        key = scenario_key(grid[0], 4)
+        (tmp_path / f"{key}.pkl").write_bytes(b"not a pickle")
+        res = run_sweep(grid, hop_sample_every=4, cache_dir=tmp_path)
+        assert res[0].phi >= 0  # re-simulated, and
+        serial = run_sweep(grid, hop_sample_every=4)
+        assert _fingerprint(res[0]) == _fingerprint(serial[0])
+
+    def test_no_cache_dir_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        run_sweep(expand_grid(BASE, [60], seeds=(0,)), hop_sample_every=4)
+        assert not list(tmp_path.rglob("*.pkl"))
+
+
+class TestScenarioKey:
+    def test_stable(self):
+        assert scenario_key(BASE, 4) == scenario_key(replace(BASE), 4)
+
+    def test_every_field_matters(self):
+        baseline = scenario_key(BASE, 4)
+        changed = {
+            "n": 61, "density": 0.03, "target_degree": 8.0, "speed": 2.0,
+            "dt": 0.5, "steps": 6, "warmup": 2, "mobility": "stationary",
+            "seed": 1, "hop_mode": "bfs", "max_levels": 3,
+        }
+        for field, value in changed.items():
+            assert scenario_key(replace(BASE, **{field: value}), 4) != baseline, field
+
+    def test_cadence_and_code_version_matter(self, monkeypatch):
+        assert scenario_key(BASE, 4) != scenario_key(BASE, 8)
+        before = scenario_key(BASE, 4)
+        monkeypatch.setattr(sweep_mod, "CODE_VERSION", "test-bump")
+        assert scenario_key(BASE, 4) != before
+
+
+class TestParallelMap:
+    def test_order_preserved(self):
+        xs = [3.0, 1.0, 2.0]
+        assert parallel_map(_double, xs, workers=2) == [6.0, 2.0, 4.0]
+
+    def test_serial_fallback(self):
+        assert parallel_map(_double, [1.0], workers=0) == [2.0]
+
+    def test_empty(self):
+        assert parallel_map(_double, [], workers=4) == []
+
+
+class TestRunSweepBasics:
+    def test_empty_grid(self):
+        assert run_sweep([]) == []
+
+    def test_results_in_task_order(self):
+        grid = expand_grid(BASE, [90, 60], seeds=(1, 0))
+        res = run_sweep(grid, hop_sample_every=4, workers=2)
+        assert [(r.scenario.n, r.scenario.seed) for r in res] == [
+            (90, 1), (90, 0), (60, 1), (60, 0),
+        ]
+
+    def test_cached_sweep_rejects_empty_metrics(self):
+        with pytest.raises(ValueError):
+            cached_sweep([60], BASE, {}, seeds=(0,))

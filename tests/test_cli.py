@@ -72,6 +72,35 @@ class TestCommands:
         assert "cluster" in out
 
 
+class TestSweepCommand:
+    def test_sweep_runs_and_caches(self, tmp_path, capsys):
+        args = ["sweep", "--ns", "60,90", "--seeds", "0", "--steps", "4",
+                "--warmup", "1", "--cache-dir", str(tmp_path), "--quiet"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "total/log^2n" in first
+        assert len(list(tmp_path.glob("*.pkl"))) == 2
+        # Second invocation replays from the cache, identical table.
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_sweep_json_output(self, tmp_path, capsys):
+        out_file = tmp_path / "points.json"
+        assert main(["sweep", "--ns", "60", "--seeds", "0", "--steps", "4",
+                     "--warmup", "1", "--no-cache", "--quiet",
+                     "--json", str(out_file)]) == 0
+        assert "points written" in capsys.readouterr().out
+        from repro.persist import load_sweep
+
+        points = load_sweep(out_file)
+        assert points[0].n == 60
+        assert set(points[0].values) == {"phi", "gamma", "total"}
+
+    def test_sweep_rejects_empty_grid(self, capsys):
+        assert main(["sweep", "--ns", "", "--seeds", "0"]) == 2
+        assert "at least one size" in capsys.readouterr().err
+
+
 class TestReportCommand:
     def test_report_stdout(self, capsys):
         assert main(["report", "--experiments", "EXP-F1", "--seeds", "0"]) == 0
