@@ -1,0 +1,7 @@
+"""EXP-A10 bench: LM overhead over a lossy control plane (extension)."""
+
+from repro.experiments import e_a10_lossy_control
+
+
+def test_bench_a10_lossy_control(run_experiment):
+    run_experiment(e_a10_lossy_control.run, quick=True, seeds=(0,))

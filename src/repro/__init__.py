@@ -20,6 +20,9 @@ Subpackages
 ``repro.core``
     CHLM: hashed server placement, LM database, queries, and the
     handoff engine measuring the Θ(log²|V|) bound (§3.2, §4, §5).
+``repro.faults``
+    Fault injection: lossy control plane, retry/backoff, attempt-level
+    delivery accounting, expanding-ring degradation (ROBUSTNESS.md).
 ``repro.sim``
     The time-stepped simulator composing everything.
 ``repro.analysis``
@@ -49,6 +52,7 @@ __all__ = [
     "routing",
     "gls",
     "core",
+    "faults",
     "sim",
     "analysis",
     "experiments",

@@ -62,6 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["memoryless", "sticky", "persistent"])
     p_sim.add_argument("--hops", default="auto",
                        choices=["auto", "bfs", "euclidean"])
+    p_sim.add_argument("--loss-rate", type=float, default=0.0,
+                       help="per-hop control-packet loss probability "
+                            "(default 0 = lossless)")
+    p_sim.add_argument("--retry-attempts", type=int, default=4,
+                       help="max delivery attempts per control message "
+                            "when --loss-rate > 0 (default 4)")
     p_sim.add_argument("--trace", action="store_true",
                        help="print the tail of the event trace")
 
@@ -87,6 +93,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--degree", type=float, default=9.0)
     p_sw.add_argument("--hops", default="euclidean",
                       choices=["auto", "bfs", "euclidean"])
+    p_sw.add_argument("--loss-rate", type=float, default=0.0,
+                      help="per-hop control-packet loss probability "
+                           "(default 0 = lossless)")
+    p_sw.add_argument("--retry-attempts", type=int, default=4,
+                      help="max delivery attempts per control message "
+                           "when --loss-rate > 0 (default 4)")
+    p_sw.add_argument("--task-timeout", type=float, default=None,
+                      help="per-task wall-clock budget in seconds "
+                           "(parallel mode; default: no timeout)")
+    p_sw.add_argument("--task-retries", type=int, default=1,
+                      help="re-runs granted to crashed/timed-out tasks "
+                           "(default 1)")
     p_sw.add_argument("--workers", type=int, default=None,
                       help="process count (default: REPRO_SWEEP_WORKERS or serial)")
     p_sw.add_argument("--cache-dir", default=None,
@@ -135,6 +153,7 @@ def _cmd_list() -> int:
         "EXP-A7": "extension — routing state vs stretch tradeoff",
         "EXP-A8": "extension — degree sensitivity (magic number)",
         "EXP-A9": "extension — end-to-end sessions on the full stack",
+        "EXP-A10": "extension — lossy control plane (retries, staleness)",
     }
     for eid in ALL_EXPERIMENTS:
         print(f"{eid:8s} {titles.get(eid, '')}")
@@ -182,6 +201,7 @@ def _cmd_simulate(args) -> int:
         dt=args.dt, density=args.density, target_degree=args.degree,
         seed=args.seed, max_levels=levels, mobility=args.mobility,
         election_mode=args.election, hop_mode=args.hops,
+        loss_rate=args.loss_rate, retry_attempts=args.retry_attempts,
     )
     if args.preset:
         from repro.sim import make_scenario
@@ -205,6 +225,14 @@ def _cmd_simulate(args) -> int:
     print(f"  phi_k   = {res.ledger.phi_k()}")
     print(f"  gamma_k = {res.ledger.gamma_k()}")
     print(f"  f_k     = {res.ledger.f_k()}")
+    if sc.faults_enabled:
+        print(f"  retransmission = {res.ledger.retransmission_rate:.4f} "
+              f"pkts/node/s")
+        print(f"  abandonment    = {res.ledger.abandonment_rate:.5f} "
+              f"entries/node/s")
+        print(f"  mean recovery  = {res.ledger.mean_recovery_time:.2f} s "
+              f"({res.ledger.recovered_entries} recovered, "
+              f"{res.ledger.abandoned_entries} abandoned)")
     if args.trace and res.trace is not None:
         print("\nevent trace (last 20):")
         for line in res.trace.to_lines(limit=20):
@@ -227,12 +255,17 @@ def _cmd_sweep(args) -> int:
         n=ns[0], steps=args.steps, warmup=args.warmup, speed=args.speed,
         dt=args.dt, density=args.density, target_degree=args.degree,
         hop_mode=args.hops,
+        loss_rate=args.loss_rate, retry_attempts=args.retry_attempts,
     )
+    lossy = base.faults_enabled
     metrics = {
         "phi": lambda r: r.phi,
         "gamma": lambda r: r.gamma,
         "total": lambda r: r.handoff_rate,
     }
+    if lossy:
+        metrics["retx"] = lambda r: r.ledger.retransmission_rate
+        metrics["abandon"] = lambda r: r.ledger.abandonment_rate
     from dataclasses import replace
 
     points = cached_sweep(
@@ -240,13 +273,20 @@ def _cmd_sweep(args) -> int:
         scenario_for=lambda sc, n: replace(sc, max_levels=levels_for(n)),
         workers=args.workers, cache_dir=cache_dir,
         progress=None if args.quiet else print_progress,
+        task_timeout=args.task_timeout, task_retries=args.task_retries,
     )
-    print(f"{'n':>6} {'L':>3} {'phi':>8} {'gamma':>8} {'total':>8} "
-          f"{'total/log^2n':>13}")
+    header = (f"{'n':>6} {'L':>3} {'phi':>8} {'gamma':>8} {'total':>8} "
+              f"{'total/log^2n':>13}")
+    if lossy:
+        header += f" {'retx':>8} {'abandon':>8}"
+    print(header)
     for p in points:
-        print(f"{p.n:>6} {levels_for(p.n):>3} {p['phi']:>8.4f} "
-              f"{p['gamma']:>8.4f} {p['total']:>8.4f} "
-              f"{p['total'] / np.log(p.n) ** 2:>13.5f}")
+        line = (f"{p.n:>6} {levels_for(p.n):>3} {p['phi']:>8.4f} "
+                f"{p['gamma']:>8.4f} {p['total']:>8.4f} "
+                f"{p['total'] / np.log(p.n) ** 2:>13.5f}")
+        if lossy:
+            line += f" {p['retx']:>8.4f} {p['abandon']:>8.5f}"
+        print(line)
     if len(points) >= 3:
         xs = [p.n for p in points]
         ys = [p["total"] for p in points]

@@ -39,6 +39,14 @@ class OverheadLedger:
     registration_events: int = 0
     migration_events: dict[int, int] = field(default_factory=dict)
     reorg_event_counts: dict[tuple[EventKind, int], int] = field(default_factory=dict)
+    retransmitted_packets: int = 0
+    abandoned_entries: int = 0
+    abandoned_registrations: int = 0
+    recovered_entries: int = 0
+    recovery_time_total: float = 0.0
+    stale_series: list[int] = field(default_factory=list)
+    """Outstanding stale entries after each metered step (all zeros when
+    the run had no fault injection)."""
 
     def __post_init__(self):
         if self.n_nodes <= 0:
@@ -58,6 +66,12 @@ class OverheadLedger:
         self.registration_events += report.registration_events
         _acc(self.migration_events, report.migration_events)
         _acc(self.reorg_event_counts, report.reorg_event_counts)
+        self.retransmitted_packets += report.retransmitted_packets
+        self.abandoned_entries += report.abandoned_entries
+        self.abandoned_registrations += report.abandoned_registrations
+        self.recovered_entries += report.recovered_entries
+        self.recovery_time_total += report.recovery_time_total
+        self.stale_series.append(report.stale_entries)
 
     # -- normalized quantities -------------------------------------------------
 
@@ -94,6 +108,35 @@ class OverheadLedger:
         """Registration packets per node per second (the Theta(log|V|)
         component of [17], metered for EXP-T10)."""
         return self._rate(sum(self.registration_packets.values()))
+
+    # -- fault/degradation quantities (EXP-A10) --------------------------------
+
+    @property
+    def retransmission_rate(self) -> float:
+        """Retransmitted control packets per node per second — the
+        channel's inflation of the lossless charge."""
+        return self._rate(self.retransmitted_packets)
+
+    @property
+    def abandonment_rate(self) -> float:
+        """Abandoned LM entry transfers per node per second (each one
+        leaves a stale location server until recovery)."""
+        return self._rate(self.abandoned_entries)
+
+    @property
+    def mean_recovery_time(self) -> float:
+        """Mean seconds from a transfer's abandonment to the step its
+        retry finally landed (0 when nothing recovered)."""
+        if self.recovered_entries == 0:
+            return 0.0
+        return self.recovery_time_total / self.recovered_entries
+
+    @property
+    def mean_stale_entries(self) -> float:
+        """Mean outstanding stale entries per metered step."""
+        if not self.stale_series:
+            return 0.0
+        return float(sum(self.stale_series)) / len(self.stale_series)
 
     def f_k(self) -> dict[int, float]:
         """Measured level-k migration event frequency per node per second

@@ -29,6 +29,17 @@ Cause classification (phi vs gamma, Sections 4 and 5):
 Registration traffic (the subject refreshing its *address* at servers
 whose identity did not change) is metered separately — the paper cites
 [17] for its Theta(log|V|) bound, and EXP-T10 compares the two.
+
+Lossy control plane (EXP-A10): pass a
+:class:`~repro.faults.delivery.DeliveryEngine` to :meth:`observe` and
+every transfer/registration is routed through it.  An *abandoned*
+transfer leaves the entry on its outgoing server — the engine tracks
+the key as **stale** (the hash points at a server that never received
+the entry, so queries miss) and the normal diff machinery retries the
+transfer on subsequent steps until it lands, at which point the
+staleness-recovery time is recorded.  With ``delivery=None`` (or a
+zero-loss engine) the metering is bit-identical to the lossless rule
+``charge = hops``.
 """
 
 from __future__ import annotations
@@ -65,6 +76,18 @@ class HandoffReport:
     reorg_event_counts: dict[tuple[EventKind, int], int]
     """Raw reorganization events (i)-(vii) by (kind, level)."""
     diff: HierarchyDiff
+    retransmitted_packets: int = 0
+    """Extra transmissions beyond the lossless charge (0 without faults)."""
+    abandoned_entries: int = 0
+    """Entry transfers given up this step (each leaves a stale server)."""
+    abandoned_registrations: int = 0
+    """Address refreshes given up this step."""
+    recovered_entries: int = 0
+    """Previously-stale entries whose transfer finally landed this step."""
+    recovery_time_total: float = 0.0
+    """Summed abandon-to-recovery durations of this step's recoveries."""
+    stale_entries: int = 0
+    """Stale (subject, level) keys outstanding after this step."""
 
     @property
     def phi_packets(self) -> int:
@@ -106,16 +129,39 @@ class HandoffEngine:
         self.hash_fn = hash_fn
         self._prev_h: ClusteredHierarchy | None = None
         self._prev_a: ServerAssignment | None = None
+        # Abandoned-transfer bookkeeping: (subject, level) -> abandon time.
+        self._stale: dict[tuple[int, int], float] = {}
 
     @property
     def assignment(self) -> ServerAssignment | None:
-        """Most recent server assignment (None before first observe)."""
+        """Most recent *effective* assignment (None before first observe).
+
+        Under a lossy channel this reflects reality, not the hash: an
+        abandoned transfer leaves the entry keyed to its old holder (or
+        absent for a failed fresh placement), which is exactly what
+        queries should see.
+        """
         return self._prev_a
 
-    def observe(self, h: ClusteredHierarchy, hop_fn: HopFn) -> HandoffReport:
+    @property
+    def stale_keys(self) -> frozenset[tuple[int, int]]:
+        """(subject, level) entries whose last transfer was abandoned."""
+        return frozenset(self._stale)
+
+    def observe(
+        self,
+        h: ClusteredHierarchy,
+        hop_fn: HopFn,
+        delivery=None,
+        now: float = 0.0,
+    ) -> HandoffReport:
         """Meter one step against the previous snapshot.
 
         The first call establishes the baseline and reports zero cost.
+        ``delivery`` (a :class:`~repro.faults.delivery.DeliveryEngine`)
+        routes every charge through the lossy channel; ``now`` is the
+        simulation clock used to timestamp abandonments and measure
+        staleness recovery.
         """
         assignment = full_assignment(h, self.hash_fn)
         empty: HandoffReport | None = None
@@ -146,6 +192,13 @@ class HandoffEngine:
         migration_entries: dict[int, int] = {}
         reorg_packets: dict[int, int] = {}
         reorg_entries: dict[int, int] = {}
+        retransmitted = 0
+        abandoned = 0
+        recovered = 0
+        recovery_time = 0.0
+        # Effective post-step assignment: starts as the hash's intent,
+        # corrected wherever the channel abandoned a transfer.
+        eff = dict(assignment.servers) if delivery is not None else None
 
         def charge(cause: str, level: int, packets: int) -> None:
             if cause == "migration":
@@ -155,22 +208,50 @@ class HandoffEngine:
                 reorg_packets[level] = reorg_packets.get(level, 0) + packets
                 reorg_entries[level] = reorg_entries.get(level, 0) + 1
 
+        def transfer(key: tuple[int, int], hops: int) -> int:
+            """Send one entry over the channel; returns packets to charge
+            and maintains the stale/effective bookkeeping."""
+            nonlocal retransmitted, abandoned, recovered, recovery_time
+            if delivery is None:
+                return hops
+            out = delivery.send(hops, level=key[1])
+            retransmitted += out.retransmitted
+            if out.delivered:
+                if key in self._stale:
+                    recovered += 1
+                    recovery_time += now - self._stale.pop(key)
+            else:
+                abandoned += 1
+                old = a0.servers.get(key)
+                if old is None:
+                    eff.pop(key, None)  # fresh placement failed: no holder
+                else:
+                    eff[key] = old  # entry stays on the outgoing server
+                self._stale.setdefault(key, now)
+            return out.packets
+
         keys = set(assignment.servers) | set(a0.servers)
         for key in keys:
             subject, level = key
             old_srv = a0.servers.get(key)
             new_srv = assignment.servers.get(key)
             if old_srv == new_srv:
+                if old_srv is not None and key in self._stale:
+                    # The hash swung back to the actual holder: the entry
+                    # is authoritative again without any transfer.
+                    recovered += 1
+                    recovery_time += now - self._stale.pop(key)
                 continue
             if new_srv is None:
                 # Hierarchy got shallower; entry expires without transfer.
+                self._stale.pop(key, None)
                 continue
             if old_srv is None:
                 # Hierarchy got deeper; fresh placement from the subject.
-                packets = max(hop_fn(subject, new_srv), 0)
+                packets = transfer(key, max(hop_fn(subject, new_srv), 0))
                 charge("reorg", level, packets)
                 continue
-            packets = max(hop_fn(old_srv, new_srv), 0)
+            packets = transfer(key, max(hop_fn(old_srv, new_srv), 0))
 
             subj_change = int(lcl[idx[subject]])
             if 0 < subj_change <= level:
@@ -184,6 +265,12 @@ class HandoffEngine:
                 continue
             charge("reorg", level, packets)
 
+        if delivery is not None and self._stale:
+            # Keys whose level vanished entirely can never recover.
+            self._stale = {
+                k: t for k, t in self._stale.items() if k in assignment.servers
+            }
+
         # Registration: the level-k server stores the subject's
         # level-(k-1) cluster (the granularity a recursive query needs),
         # so it requires an update exactly when that component changes.
@@ -192,6 +279,7 @@ class HandoffEngine:
         # with frequency ~f_{k-1} and the update crosses ~h_k hops.
         registration_packets: dict[int, int] = {}
         registration_events = 0
+        abandoned_regs = 0
         min_l = min(h0.num_levels, h.num_levels)
         # Levels 2..min_l plus the virtual global level (whose stored
         # component is the subject's top-level cluster).
@@ -204,9 +292,16 @@ class HandoffEngine:
                 if srv_now is None or a0.servers.get(key) != srv_now:
                     continue  # moved entries carry the fresh address
                 registration_events += 1
+                hops = max(hop_fn(v, srv_now), 0)
+                if delivery is not None:
+                    out = delivery.send(hops, level=level)
+                    retransmitted += out.retransmitted
+                    if not out.delivered:
+                        abandoned_regs += 1
+                    hops = out.packets
                 registration_packets[level] = registration_packets.get(
                     level, 0
-                ) + max(hop_fn(v, srv_now), 0)
+                ) + hops
 
         report = HandoffReport(
             migration_packets=migration_packets,
@@ -218,6 +313,14 @@ class HandoffEngine:
             migration_events=diff.migration_counts(),
             reorg_event_counts=diff.reorg_counts(),
             diff=diff,
+            retransmitted_packets=retransmitted,
+            abandoned_entries=abandoned,
+            abandoned_registrations=abandoned_regs,
+            recovered_entries=recovered,
+            recovery_time_total=recovery_time,
+            stale_entries=len(self._stale),
         )
+        if eff is not None and eff != assignment.servers:
+            assignment = ServerAssignment(servers=eff)
         self._prev_h, self._prev_a = h, assignment
         return report

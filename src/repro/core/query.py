@@ -10,6 +10,15 @@ cluster (the true server stores d's address); lower probes miss.
 The returned cost is the sum of probe round-trips up to the hit; the
 paper argues this is of the order of the s-d hop count and is absorbed
 into the communication session it precedes (Section 6).
+
+Lossy control plane (EXP-A10): pass ``delivery`` and each probe's round
+trip is routed through the channel — an abandoned probe gets no reply
+and the requester climbs to the next level.  Run against the handoff
+engine's *effective* assignment, probes that land on a server whose
+entry transfer was abandoned miss naturally (the hash's candidate is
+not the actual holder), so stale state degrades queries without any
+extra modeling.  Callers meter the expanding-ring fallback for queries
+that fail outright (see :func:`repro.faults.expanding_ring_cost`).
 """
 
 from __future__ import annotations
@@ -51,12 +60,15 @@ def resolve(
     d: int,
     hop_fn: HopFn,
     hash_fn="rendezvous",
+    delivery=None,
 ) -> QueryResult:
     """Resolve ``d``'s hierarchical address on behalf of ``s``.
 
     ``assignment`` must be the current CHLM assignment for ``h`` (used
     to verify hits — the probed candidate is the real server exactly
-    when the two nodes share the level-k cluster).
+    when the two nodes share the level-k cluster).  With ``delivery``
+    set, probe round trips traverse the lossy channel: lost probes
+    charge the packets actually transmitted and yield no answer.
     """
     if s == d:
         return QueryResult(
@@ -84,8 +96,15 @@ def resolve(
         candidate = _probe_server(h, s, d, level, hash_fn)
         if candidate is None:
             continue
-        packets += 2 * max(hop_fn(s, candidate), 0)
+        round_trip = 2 * max(hop_fn(s, candidate), 0)
         probes += 1
+        if delivery is not None:
+            out = delivery.send(round_trip, level=level)
+            packets += out.packets
+            if not out.delivered:
+                continue  # probe (or its reply) lost: climb to next level
+        else:
+            packets += round_trip
         is_global = level == h.num_levels + 1
         if is_global or h.cluster_of(s, level) == h.cluster_of(d, level):
             # The probe landed on d's actual level-k server.

@@ -15,6 +15,7 @@ from repro.experiments import (
     e_a7_state_stretch,
     e_a8_magic_number,
     e_a9_end_to_end,
+    e_a10_lossy_control,
     e_f1_hierarchy,
     e_f2_gls_grid,
     e_f3_alca_states,
@@ -54,6 +55,7 @@ ALL_EXPERIMENTS = {
     "EXP-A7": e_a7_state_stretch.run,
     "EXP-A8": e_a8_magic_number.run,
     "EXP-A9": e_a9_end_to_end.run,
+    "EXP-A10": e_a10_lossy_control.run,
 }
 
 __all__ = ["ExperimentResult", "ALL_EXPERIMENTS"]

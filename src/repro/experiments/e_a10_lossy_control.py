@@ -1,0 +1,129 @@
+"""EXP-A10 (extension) — handoff overhead over a lossy control plane.
+
+The paper's Theta(log^2 |V|) handoff bound (and every experiment up to
+EXP-A9) assumes lossless control-packet delivery.  This extension drops
+that assumption: every LM transfer, registration, and query probe
+traverses a seeded Bernoulli per-hop channel with bounded
+retransmission (exponential backoff + jitter, per-message timeout; see
+``repro.faults`` and docs/ROBUSTNESS.md).  The sweep crosses loss rate
+with network size and asks four questions:
+
+1. **Retransmission inflation** — how much does the channel inflate
+   phi + gamma, and does the total keep its log^2-shape in n?
+2. **Abandonment** — how often does a transfer exhaust its retry budget,
+   leaving a stale location server?
+3. **Staleness recovery** — how long until the normal handoff machinery
+   re-lands an abandoned entry?
+4. **Query degradation** — what fraction of location queries still
+   resolve (directly, or via the metered expanding-ring fallback)?
+
+Per-hop loss compounds over route length, so high-level transfers
+(long server-to-server routes) fail disproportionately — exactly the
+regime where the paper's per-level accounting concentrates its cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import levels_for
+from repro.experiments.common import ExperimentResult
+from repro.sim import Scenario, run_scenario
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seeds=(0, 1)) -> ExperimentResult:
+    """Run this experiment; returns the printable table (see module docstring)."""
+    ns = (150, 300) if quick else (200, 400, 800)
+    rates = (0.0, 0.02, 0.05, 0.1) if quick else (0.0, 0.01, 0.02, 0.05, 0.1, 0.2)
+    steps = 30 if quick else 80
+
+    result = ExperimentResult(
+        exp_id="EXP-A10",
+        title="Extension: LM overhead over a lossy control plane "
+              "(loss rate x n, bounded retries)",
+        columns=["loss/hop", "n", "phi", "gamma", "total", "total/log^2 n",
+                 "retx rate", "abandon rate", "recovery (s)", "query ok",
+                 "degraded"],
+    )
+    # {loss: {n: mean total}} for the shape notes.
+    totals: dict[float, dict[int, float]] = {}
+    for rate in rates:
+        for n in ns:
+            phis, gammas, retxs, abandons, recoveries = [], [], [], [], []
+            query_ok, degraded = [], []
+            for seed in seeds:
+                sc = Scenario(
+                    n=n, steps=steps, warmup=10, speed=1.0, seed=seed,
+                    hop_mode="euclidean", max_levels=levels_for(n),
+                    loss_rate=rate, retry_attempts=4, retry_timeout=2.0,
+                    queries_per_step=5,
+                )
+                res = run_scenario(sc, hop_sample_every=10_000)
+                phis.append(res.phi)
+                gammas.append(res.gamma)
+                retxs.append(res.ledger.retransmission_rate)
+                abandons.append(res.ledger.abandonment_rate)
+                recoveries.append(res.ledger.mean_recovery_time)
+                query_ok.append(res.query_success_rate)
+                degraded.append(res.queries.degraded_fraction)
+            phi = float(np.mean(phis))
+            gamma = float(np.mean(gammas))
+            total = phi + gamma
+            totals.setdefault(rate, {})[n] = total
+            result.add_row(
+                rate, n, round(phi, 3), round(gamma, 3), round(total, 3),
+                round(total / np.log(n) ** 2, 5),
+                round(float(np.mean(retxs)), 4),
+                round(float(np.mean(abandons)), 4),
+                round(float(np.mean(recoveries)), 2),
+                f"{float(np.mean(query_ok)):.3f}",
+                f"{float(np.mean(degraded)):.3f}",
+            )
+
+    _add_shape_notes(result, totals, ns)
+    return result
+
+
+def _add_shape_notes(result: ExperimentResult, totals, ns) -> None:
+    """Summarize how the channel bends the total-overhead curve."""
+    control = totals.get(0.0, {})
+    worst = max(totals)
+    if control and worst > 0.0:
+        inflations = [
+            totals[worst][n] / max(control[n], 1e-12) for n in ns if n in control
+        ]
+        result.add_note(
+            f"Retransmission inflation at loss={worst}: total overhead is "
+            f"{min(inflations):.2f}x-{max(inflations):.2f}x the lossless "
+            "control, roughly uniform in n — the channel multiplies the "
+            "constant, not the growth rate."
+        )
+    if len(ns) >= 3:
+        from repro.analysis import compare_shapes
+
+        for rate in sorted(totals):
+            fits = compare_shapes(
+                list(ns), [totals[rate][n] for n in ns],
+                shapes=("log2", "sqrt", "log", "linear"),
+            )
+            result.add_note(
+                f"loss={rate}: AIC-best shape for total(n) is "
+                f"{fits[0].shape} (ranking {[f.shape for f in fits]})."
+            )
+    else:
+        result.add_note(
+            "Shape check needs >= 3 sizes; run with quick=False for the "
+            "AIC comparison across n."
+        )
+    result.add_note(
+        "Graceful degradation: failed queries fall back to an "
+        "expanding-ring flood (metered, not free), so 'query ok' counts "
+        "resolution through *either* path; abandonment leaves stale "
+        "servers that the next steps' handoffs repair (recovery column)."
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,35 @@
+"""Fault injection: lossy control plane, retry/backoff, degradation metering.
+
+The paper's Theta(log^2 |V|) handoff bound assumes every LM control
+packet is delivered.  This package drops that assumption:
+
+* :class:`LossModel` — seeded Bernoulli per-hop loss (route length and,
+  optionally, hierarchy level grade the effective channel),
+* :class:`RetryPolicy` — bounded retransmission with exponential
+  backoff, jitter, and a per-message timeout,
+* :class:`DeliveryEngine` — attempt-level accounting (delivered /
+  retransmitted / abandoned packets) replacing the lossless
+  ``charge = hops`` rule,
+* :func:`expanding_ring_cost` / :class:`QueryLedger` — the metered
+  fallback path for queries that hit stale or abandoned state.
+
+Zero loss with retries disabled is an exact no-op: every meter then
+produces bit-identical numbers to the pre-fault engine (tested by
+``tests/sim/test_lossy_equivalence.py``).  See ``docs/ROBUSTNESS.md``.
+"""
+
+from repro.faults.delivery import Delivery, DeliveryEngine, FaultStats
+from repro.faults.fallback import QueryLedger, expanding_ring_cost
+from repro.faults.loss import MAX_HOP_LOSS, LossModel
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "Delivery",
+    "DeliveryEngine",
+    "FaultStats",
+    "LossModel",
+    "MAX_HOP_LOSS",
+    "QueryLedger",
+    "RetryPolicy",
+    "expanding_ring_cost",
+]

@@ -1,0 +1,113 @@
+"""Graceful degradation: expanding-ring flood fallback and query metering.
+
+When the hierarchical query fails — a probe abandoned by the channel, or
+a hit on a server whose entry transfer was itself abandoned (stale
+state) — the requester falls back to an expanding-ring flood: broadcast
+with TTL 1, then 2, 4, ... until the ring covers the target.  Every node
+inside a ring rebroadcasts once, so the flood finds any reachable target
+at a cost that grows with the ring area.  That cost is the price of
+graceful degradation, and :func:`expanding_ring_cost` meters it under
+the same fixed-density geometry the rest of the reproduction uses
+(nodes within ``r`` hops ~ density * pi * (r * R_tx)^2).
+
+:class:`QueryLedger` accumulates the resulting success/cost series for
+:class:`~repro.sim.metrics.SimResult`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["expanding_ring_cost", "QueryLedger"]
+
+
+def expanding_ring_cost(
+    target_hops: int, n: int, density: float, r_tx: float
+) -> int:
+    """Packet cost of an expanding-ring flood that reaches ``target_hops``.
+
+    TTL doubles each round (1, 2, 4, ...) until the ring radius covers
+    the target; each round re-floods from scratch, charging one
+    rebroadcast per node inside the ring (capped at ``n``).  Returns 0
+    for a zero-hop "flood" (the target is the requester itself).
+    """
+    if target_hops <= 0:
+        return 0
+    if n <= 0 or density <= 0 or r_tx <= 0:
+        raise ValueError("need positive n, density, and r_tx")
+    cost = 0
+    radius = 1
+    while True:
+        reach = min(n, int(math.ceil(density * math.pi * (radius * r_tx) ** 2)))
+        cost += max(reach, 1)
+        if radius >= target_hops:
+            return cost
+        radius *= 2
+
+
+@dataclass
+class QueryLedger:
+    """Running totals over sampled location queries in one run."""
+
+    attempts: int = 0
+    direct_hits: int = 0
+    fallback_hits: int = 0
+    failures: int = 0
+    probe_packets: int = 0
+    """Packets spent on hierarchical probes (lossy round trips included)."""
+    fallback_packets: int = 0
+    """Packets spent on expanding-ring floods after probe failure."""
+    success_series: list[float] = field(default_factory=list)
+    """Per-step query success rate (direct + fallback)."""
+    _step_attempts: int = field(default=0, repr=False)
+    _step_successes: int = field(default=0, repr=False)
+
+    def record_direct(self, packets: int) -> None:
+        """Count a query resolved by the hierarchical probe path."""
+        self.attempts += 1
+        self.direct_hits += 1
+        self.probe_packets += packets
+        self._step_attempts += 1
+        self._step_successes += 1
+
+    def record_fallback(self, probe_packets: int, flood_packets: int) -> None:
+        """Count a query rescued by the expanding-ring flood."""
+        self.attempts += 1
+        self.fallback_hits += 1
+        self.probe_packets += probe_packets
+        self.fallback_packets += flood_packets
+        self._step_attempts += 1
+        self._step_successes += 1
+
+    def record_failure(self, probe_packets: int) -> None:
+        """Count a query that failed outright (unreachable target)."""
+        self.attempts += 1
+        self.failures += 1
+        self.probe_packets += probe_packets
+        self._step_attempts += 1
+
+    def close_step(self) -> None:
+        """Finish one simulation step's sample batch."""
+        if self._step_attempts:
+            self.success_series.append(self._step_successes / self._step_attempts)
+            self._step_attempts = 0
+            self._step_successes = 0
+
+    @property
+    def successes(self) -> int:
+        return self.direct_hits + self.fallback_hits
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of queries resolved (directly or via flood)."""
+        return self.successes / self.attempts if self.attempts else 1.0
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of *resolved* queries that needed the flood."""
+        return self.fallback_hits / self.successes if self.successes else 0.0
+
+    @property
+    def total_packets(self) -> int:
+        return self.probe_packets + self.fallback_packets

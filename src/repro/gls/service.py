@@ -62,6 +62,13 @@ class GLSStepReport:
     handoff_events: int
     update_packets: int
     update_events: int
+    retransmitted_packets: int = 0
+    """Extra transmissions beyond the lossless charge (0 without faults)."""
+    abandoned_handoffs: int = 0
+    """Entry transfers the channel gave up on (stale GLS state)."""
+    abandoned_updates: int = 0
+    """Location updates the channel gave up on (retried next step, since
+    the mover's update trigger stays armed until delivery succeeds)."""
 
     @property
     def total_packets(self) -> int:
@@ -147,14 +154,19 @@ class GridLocationService:
 
     # -- overhead metering ---------------------------------------------------------
 
-    def observe(self, positions, hop_fn: HopFn) -> GLSStepReport:
+    def observe(self, positions, hop_fn: HopFn, delivery=None) -> GLSStepReport:
         """Meter one step: handoffs from server reassignment plus
         distance-triggered location updates.
 
         ``hop_fn(u, v)`` returns the packet transmissions needed to move
         one entry from u to v (hop count of the route; implementations
         may estimate).  The first observation establishes the baseline
-        and reports zero overhead.
+        and reports zero overhead.  With ``delivery`` set (a
+        :class:`~repro.faults.delivery.DeliveryEngine`) every transfer
+        and update traverses the lossy channel; an update that the
+        channel abandons leaves the mover's trigger armed, so it retries
+        on the next step — GLS's periodic re-registration is its natural
+        repair mechanism.
         """
         pts = as_points(positions)
         assignment = self.compute_assignment(pts)
@@ -162,21 +174,41 @@ class GridLocationService:
         handoff_events = 0
         update_packets = 0
         update_events = 0
+        retransmitted = 0
+        abandoned_handoffs = 0
+        abandoned_updates = 0
+
+        def send(u: int, v: int, level: int) -> tuple[int, bool]:
+            """Packets actually spent moving one message u -> v, and
+            whether it arrived."""
+            nonlocal retransmitted
+            hops = max(hop_fn(u, v), 0)
+            if delivery is None:
+                return hops, True
+            out = delivery.send(hops, level=level)
+            retransmitted += out.retransmitted
+            return out.packets, out.delivered
 
         if self._prev is not None:
             for key, new_servers in assignment.servers.items():
                 old_servers = self._prev.servers.get(key, ())
                 if old_servers == new_servers:
                     continue
-                subject = key[0]
+                subject, lvl = key
                 removed = sorted(set(old_servers) - set(new_servers))
                 added = sorted(set(new_servers) - set(old_servers))
                 for r, a in zip(removed, added):
                     handoff_events += 1
-                    handoff_packets += max(hop_fn(r, a), 0)
+                    pkts, ok = send(r, a, lvl)
+                    handoff_packets += pkts
+                    if not ok:
+                        abandoned_handoffs += 1
                 for a in added[len(removed):]:
                     handoff_events += 1
-                    handoff_packets += max(hop_fn(subject, a), 0)
+                    pkts, ok = send(subject, a, lvl)
+                    handoff_packets += pkts
+                    if not ok:
+                        abandoned_handoffs += 1
                 # Surplus removals: entries simply expire.
 
             # Feature (c): movement-threshold updates.
@@ -189,8 +221,16 @@ class GridLocationService:
                     if last is None or np.linalg.norm(pos - last) >= threshold:
                         if last is not None:
                             update_events += 1
+                            all_ok = True
                             for srv in assignment.servers.get((v, level), ()):
-                                update_packets += max(hop_fn(v, srv), 0)
+                                pkts, ok = send(v, srv, level)
+                                update_packets += pkts
+                                all_ok = all_ok and ok
+                            if not all_ok:
+                                # Keep the trigger armed: the node retries
+                                # its registration next step.
+                                abandoned_updates += 1
+                                continue
                         self._last_update_pos[(v, level)] = pos.copy()
         else:
             for level in range(1, self.grid.L):
@@ -203,6 +243,9 @@ class GridLocationService:
             handoff_events=handoff_events,
             update_packets=update_packets,
             update_events=update_events,
+            retransmitted_packets=retransmitted,
+            abandoned_handoffs=abandoned_handoffs,
+            abandoned_updates=abandoned_updates,
         )
 
     # -- queries ------------------------------------------------------------------

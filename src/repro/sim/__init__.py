@@ -8,13 +8,17 @@ from repro.sim.rng import spawn_rngs
 from repro.sim.scenario import Scenario
 from repro.sim.sweep import (
     CODE_VERSION,
+    SweepError,
     SweepProgress,
+    SweepRun,
+    TaskError,
     cached_sweep,
     default_cache_dir,
     expand_grid,
     parallel_map,
     print_progress,
     run_sweep,
+    run_sweep_detailed,
     scenario_key,
 )
 from repro.sim.trace import EventTrace, TraceEvent
@@ -33,12 +37,16 @@ __all__ = [
     "EventTrace",
     "TraceEvent",
     "CODE_VERSION",
+    "SweepError",
     "SweepProgress",
+    "SweepRun",
+    "TaskError",
     "cached_sweep",
     "default_cache_dir",
     "expand_grid",
     "parallel_map",
     "print_progress",
     "run_sweep",
+    "run_sweep_detailed",
     "scenario_key",
 ]

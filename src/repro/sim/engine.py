@@ -54,11 +54,26 @@ class Simulator:
             from repro.sim.trace import EventTrace
 
             self.trace = EventTrace(capacity=trace_capacity)
+        # "faults" and "queries" are spawned last: SeedSequence.spawn is
+        # prefix-stable, so pre-fault scenarios replay bit-identically.
         rngs = spawn_rngs(
-            scenario.seed, ["placement", "mobility", "sampling", "failures"]
+            scenario.seed,
+            ["placement", "mobility", "sampling", "failures", "faults", "queries"],
         )
         self._sampling_rng = rngs["sampling"]
         self._failure_rng = rngs["failures"]
+        self._query_rng = rngs["queries"]
+        # Lossy control plane (EXP-A10): built only when the scenario
+        # asks for loss, so lossless runs never touch the fault path.
+        self._delivery = None
+        if scenario.faults_enabled:
+            from repro.faults import DeliveryEngine
+
+            self._delivery = DeliveryEngine(
+                loss=scenario.loss_model(),
+                retry=scenario.retry_policy(),
+                rng=rngs["faults"],
+            )
         # Crash/repair state: time until which each node stays down.
         self._down_until = np.full(scenario.n, -np.inf)
         self._now = 0.0
@@ -161,6 +176,12 @@ class Simulator:
         giant_sum = 0.0
         giant_samples = 0
 
+        queries = None
+        if sc.queries_per_step > 0:
+            from repro.faults import QueryLedger
+
+            queries = QueryLedger()
+
         # Baseline snapshot (not metered).
         positions = self.model.positions.copy()
         edges, hierarchy = self._build(positions)
@@ -177,9 +198,14 @@ class Simulator:
             edges, hierarchy = self._build(positions)
             hop_fn = self._hop_fn(positions, edges)
 
-            report = engine.observe(hierarchy, hop_fn)
+            report = engine.observe(
+                hierarchy, hop_fn,
+                delivery=self._delivery, now=(step + 1) * sc.dt,
+            )
             ledger.record(report, sc.dt)
             link_tracker.observe(edges)
+            if queries is not None:
+                self._sample_queries(hierarchy, engine, hop_fn, queries)
             self._observe_states(state_trackers, hierarchy)
             if self.trace is not None:
                 t = (step + 1) * sc.dt
@@ -248,7 +274,41 @@ class Simulator:
             elapsed=elapsed,
             trace=self.trace,
             final_positions=positions,
+            queries=queries,
         )
+
+    def _sample_queries(self, hierarchy, engine, hop_fn, ledger) -> None:
+        """Sample location queries through the (possibly lossy) stack.
+
+        Uses the engine's *effective* assignment, so probes that land on
+        abandoned/stale entries miss; failed queries fall back to an
+        expanding-ring flood — successful but metered as degradation.
+        Unreachable targets (partitioned network) fail outright.
+        """
+        from repro.core.query import resolve
+        from repro.faults import expanding_ring_cost
+
+        sc = self.sc
+        assignment = engine.assignment
+        for _ in range(sc.queries_per_step):
+            pair = self._query_rng.integers(0, sc.n, size=2)
+            s, d = int(pair[0]), int(pair[1])
+            qr = resolve(
+                hierarchy, assignment, s, d, hop_fn,
+                hash_fn=sc.hash_fn, delivery=self._delivery,
+            )
+            if qr.hit_level >= 0:
+                ledger.record_direct(qr.packets)
+                continue
+            target_hops = hop_fn(s, d)
+            if target_hops > 0:
+                flood = expanding_ring_cost(
+                    target_hops, sc.n, sc.density, sc.r_tx
+                )
+                ledger.record_fallback(qr.packets, flood)
+            else:
+                ledger.record_failure(qr.packets)
+        ledger.close_step()
 
     @staticmethod
     def _observe_states(trackers: dict[int, StateTracker], h: ClusteredHierarchy) -> None:

@@ -103,6 +103,9 @@ class SimResult:
     """Node positions at the last metered step — lets post-run analyses
     (e.g. EXP-T10's query-cost probe) rebuild the final topology from a
     cached result without re-simulating."""
+    queries: "object | None" = None
+    """Optional :class:`~repro.faults.fallback.QueryLedger` (set when the
+    scenario sampled queries via ``queries_per_step > 0``)."""
 
     # -- convenience views -------------------------------------------------------
 
@@ -117,6 +120,14 @@ class SimResult:
     @property
     def handoff_rate(self) -> float:
         return self.ledger.handoff_rate
+
+    @property
+    def query_success_rate(self) -> float | None:
+        """Fraction of sampled queries resolved (None when the scenario
+        sampled no queries)."""
+        if self.queries is None:
+            return None
+        return self.queries.success_rate
 
     def mean_h(self) -> float:
         """Mean of the sampled network-wide hop counts."""

@@ -78,6 +78,30 @@ class Scenario:
         all links until repaired.
     repair_time:
         Downtime per crash, in seconds.
+    loss_rate:
+        Per-hop control-packet loss probability in [0, 1).  The paper
+        assumes lossless delivery; nonzero rates inject the lossy
+        channel of EXP-A10 (see ``repro.faults`` and ROBUSTNESS.md).
+        0 disables fault injection entirely (bit-identical metering).
+    loss_level_coeff:
+        Optional level dependence of the channel: a level-k message sees
+        an effective per-hop loss of ``loss_rate * (1 + coeff * k)``.
+    retry_attempts:
+        Total delivery tries per control message, including the first
+        (1 disables retransmission).
+    retry_backoff:
+        Delay before the first retransmission, in seconds.
+    retry_backoff_factor:
+        Exponential backoff multiplier per further retransmission.
+    retry_jitter:
+        Multiplicative backoff jitter (0 disables).
+    retry_timeout:
+        Per-message give-up budget in seconds; messages whose
+        accumulated backoff would exceed it are abandoned.
+    queries_per_step:
+        Location queries sampled per metered step (random s-d pairs,
+        resolved through the lossy stack with expanding-ring fallback).
+        0 (default) samples none, leaving all metered series untouched.
     seed:
         Root seed for all randomness.
     """
@@ -101,9 +125,38 @@ class Scenario:
     detour: float = 1.3
     failure_rate: float = 0.0
     repair_time: float = 20.0
+    loss_rate: float = 0.0
+    loss_level_coeff: float = 0.0
+    retry_attempts: int = 1
+    retry_backoff: float = 0.05
+    retry_backoff_factor: float = 2.0
+    retry_jitter: float = 0.1
+    retry_timeout: float = 1.0
+    queries_per_step: int = 0
     seed: int = 0
 
+    # Numeric fields screened for NaN/inf before any range check runs
+    # (range checks silently pass on NaN: ``nan < 1`` is False).
+    _NUMERIC_FIELDS = (
+        "density", "target_degree", "dt", "detour", "failure_rate",
+        "repair_time", "loss_rate", "loss_level_coeff", "retry_attempts",
+        "retry_backoff", "retry_backoff_factor", "retry_jitter",
+        "retry_timeout", "queries_per_step",
+    )
+
     def __post_init__(self):
+        for name in self._NUMERIC_FIELDS:
+            value = getattr(self, name)
+            if not np.isfinite(value):
+                raise ValueError(
+                    f"{name} must be a finite number, got {value!r} "
+                    "(NaN/inf would silently poison every derived metric)"
+                )
+        speeds = (self.speed,) if np.isscalar(self.speed) else tuple(self.speed)
+        if not all(np.isfinite(v) for v in speeds):
+            raise ValueError(
+                f"speed must be finite (scalar or (low, high)), got {self.speed!r}"
+            )
         if self.n <= 1:
             raise ValueError("need at least two nodes")
         if self.density <= 0:
@@ -133,7 +186,48 @@ class Scenario:
         if self.failure_rate < 0:
             raise ValueError("failure rate must be non-negative")
         if self.repair_time <= 0:
-            raise ValueError("repair time must be positive")
+            raise ValueError(
+                f"repair time must be positive, got {self.repair_time!r} "
+                "(a crashed node needs a finite downtime to recover from)"
+            )
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(
+                f"loss_rate must be a probability in [0, 1), got "
+                f"{self.loss_rate!r} (1.0 would mean no control packet "
+                "ever survives a hop)"
+            )
+        if self.loss_level_coeff < 0:
+            raise ValueError(
+                f"loss_level_coeff must be non-negative, got "
+                f"{self.loss_level_coeff!r}"
+            )
+        if self.retry_attempts < 1:
+            raise ValueError(
+                f"retry_attempts must be >= 1 (1 disables retries), got "
+                f"{self.retry_attempts!r}"
+            )
+        if self.retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be non-negative, got {self.retry_backoff!r}"
+            )
+        if self.retry_backoff_factor < 1.0:
+            raise ValueError(
+                f"retry_backoff_factor must be >= 1, got "
+                f"{self.retry_backoff_factor!r}"
+            )
+        if self.retry_jitter < 0:
+            raise ValueError(
+                f"retry_jitter must be non-negative, got {self.retry_jitter!r}"
+            )
+        if self.retry_timeout <= 0:
+            raise ValueError(
+                f"retry_timeout must be positive, got {self.retry_timeout!r}"
+            )
+        if self.queries_per_step < 0:
+            raise ValueError(
+                f"queries_per_step must be non-negative, got "
+                f"{self.queries_per_step!r}"
+            )
 
     # -- derived quantities -------------------------------------------------------
 
@@ -158,6 +252,29 @@ class Scenario:
     def duration(self) -> float:
         """Metered simulated time in seconds."""
         return self.steps * self.dt
+
+    @property
+    def faults_enabled(self) -> bool:
+        """True when the control plane is lossy (EXP-A10 regime)."""
+        return self.loss_rate > 0.0
+
+    def loss_model(self):
+        """The :class:`~repro.faults.loss.LossModel` these fields describe."""
+        from repro.faults import LossModel
+
+        return LossModel(rate=self.loss_rate, level_coeff=self.loss_level_coeff)
+
+    def retry_policy(self):
+        """The :class:`~repro.faults.retry.RetryPolicy` these fields describe."""
+        from repro.faults import RetryPolicy
+
+        return RetryPolicy(
+            max_attempts=self.retry_attempts,
+            base_backoff=self.retry_backoff,
+            backoff_factor=self.retry_backoff_factor,
+            jitter=self.retry_jitter,
+            timeout=self.retry_timeout,
+        )
 
     def mean_step_displacement(self) -> float:
         """Expected node displacement per step, in units of R_tx."""

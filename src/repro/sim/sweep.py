@@ -13,6 +13,13 @@ production scale:
   callback, and returns results in task order — bit-identical to a
   serial loop over the same scenarios (each run is independently
   seeded; no shared mutable state crosses the process boundary).
+* **Crash tolerance**: a worker that raises, dies (``BrokenProcessPool``),
+  or exceeds the per-task timeout is retried with exponential backoff up
+  to a bounded attempt count; tasks that still fail are reported as
+  structured :class:`TaskError` records.  :func:`run_sweep_detailed`
+  always returns the partial results alongside the errors;
+  :func:`run_sweep` raises a :class:`SweepError` (carrying both) at the
+  *end* of the sweep unless ``on_error="partial"``.
 * **Result caching**: completed runs are memoized on disk, keyed by a
   stable SHA-256 of the scenario dataclass, the sampling cadence, and
   :data:`CODE_VERSION`.  Re-running an experiment or benchmark reuses
@@ -31,11 +38,13 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 import os
 import pickle
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Sequence
@@ -49,16 +58,20 @@ from repro.sim.scenario import Scenario
 __all__ = [
     "CODE_VERSION",
     "SweepProgress",
+    "TaskError",
+    "SweepRun",
+    "SweepError",
     "scenario_key",
     "default_cache_dir",
     "expand_grid",
     "run_sweep",
+    "run_sweep_detailed",
     "cached_sweep",
     "parallel_map",
     "print_progress",
 ]
 
-CODE_VERSION = "1"
+CODE_VERSION = "2"
 """Simulator-semantics version baked into every cache key.  Bump this
 whenever a change alters what :func:`repro.sim.engine.run_scenario`
 returns for a given scenario; old cache entries then miss cleanly."""
@@ -97,10 +110,18 @@ def default_cache_dir() -> Path:
 
 
 def _cache_load(path: Path) -> SimResult | None:
+    """Load one cached result; *any* failure is a miss, never an error.
+
+    Truncated writes, garbage bytes, and pickles from incompatible code
+    versions all raise different exceptions (``EOFError``,
+    ``UnpicklingError``, ``UnicodeDecodeError``, ``IndexError``, ...), so
+    the net is deliberately wide: a corrupt cache entry must only cost a
+    re-run.
+    """
     try:
         with path.open("rb") as fh:
             res = pickle.load(fh)
-    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+    except Exception:
         return None
     return res if isinstance(res, SimResult) else None
 
@@ -164,6 +185,53 @@ def print_progress(p: SweepProgress) -> None:
     )
 
 
+@dataclass(frozen=True)
+class TaskError:
+    """Structured record of one task that failed after all retries."""
+
+    index: int
+    """Position in the input task list."""
+    kind: str
+    """``"exception"`` (worker raised), ``"crash"`` (worker process
+    died), or ``"timeout"`` (exceeded ``task_timeout``)."""
+    message: str
+    attempts: int
+    scenario: Scenario | None = None
+    """The failed scenario (None for :func:`parallel_map` payloads)."""
+
+
+@dataclass
+class SweepRun:
+    """Full outcome of a fault-tolerant sweep."""
+
+    results: list
+    """One entry per input task; ``None`` where the task failed."""
+    errors: list[TaskError]
+    """Error records for every failed task, in index order."""
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+class SweepError(RuntimeError):
+    """One or more sweep tasks failed after retries.
+
+    Raised at the *end* of the sweep — every healthy task has completed
+    and its result (``self.run.results``) and cache entry survive.
+    """
+
+    def __init__(self, run: SweepRun):
+        self.run = run
+        summary = "; ".join(
+            f"task {e.index} ({e.kind} after {e.attempts} attempt(s)): {e.message}"
+            for e in run.errors[:3]
+        )
+        if len(run.errors) > 3:
+            summary += f"; ... {len(run.errors) - 3} more"
+        super().__init__(f"{len(run.errors)} sweep task(s) failed: {summary}")
+
+
 def _run_task(args: tuple[Scenario, int]) -> SimResult:
     """Worker: one simulation (module-level so it pickles)."""
     scenario, hop_sample_every = args
@@ -178,15 +246,136 @@ def _resolve_workers(workers: int | None, n_tasks: int) -> int:
     return min(workers, n_tasks)
 
 
-def run_sweep(
+def _serial_round(fn, tasks: dict, on_result) -> dict[int, tuple[str, str]]:
+    """Run one attempt of every task in-process."""
+    failed: dict[int, tuple[str, str]] = {}
+    for i, payload in tasks.items():
+        try:
+            res = fn(payload)
+        except Exception as exc:
+            failed[i] = ("exception", f"{type(exc).__name__}: {exc}")
+        else:
+            on_result(i, res)
+    return failed
+
+
+def _parallel_round(
+    fn, tasks: dict, n_workers: int, task_timeout: float | None, on_result
+) -> dict[int, tuple[str, str]]:
+    """Run one attempt of every task in a fresh process pool.
+
+    A fresh pool per round means a crash (``BrokenProcessPool``) or a
+    hung worker poisons at most this round; the next retry round starts
+    clean.  ``task_timeout`` is enforced as a round budget of
+    ``task_timeout * ceil(tasks / workers)`` seconds — each queue wave
+    gets the per-task allowance.
+    """
+    failed: dict[int, tuple[str, str]] = {}
+    n_workers = min(n_workers, len(tasks))
+    pool = ProcessPoolExecutor(max_workers=n_workers)
+    futures = {pool.submit(fn, p): i for i, p in tasks.items()}
+    pending = set(futures)
+    deadline = None
+    if task_timeout is not None:
+        waves = math.ceil(len(tasks) / n_workers)
+        deadline = time.monotonic() + task_timeout * waves
+    try:
+        while pending:
+            timeout = None
+            if deadline is not None:
+                timeout = max(deadline - time.monotonic(), 0.0)
+            done, pending = wait(pending, timeout=timeout,
+                                 return_when=FIRST_COMPLETED)
+            broken = False
+            for fut in done:
+                i = futures[fut]
+                try:
+                    res = fut.result()
+                except BrokenProcessPool:
+                    failed[i] = ("crash", "worker process died mid-task")
+                    broken = True
+                except Exception as exc:
+                    failed[i] = ("exception", f"{type(exc).__name__}: {exc}")
+                else:
+                    on_result(i, res)
+            if broken:
+                # The pool is dead; every in-flight task goes down with it.
+                for fut in pending:
+                    failed[futures[fut]] = (
+                        "crash", "worker pool broke before this task finished"
+                    )
+                pending = set()
+            elif deadline is not None and pending and \
+                    time.monotonic() >= deadline:
+                for fut in pending:
+                    fut.cancel()
+                    failed[futures[fut]] = (
+                        "timeout",
+                        f"exceeded task_timeout={task_timeout}s round budget",
+                    )
+                pending = set()
+                # Hung workers would block shutdown forever: kill them.
+                for proc in list(getattr(pool, "_processes", {}).values()):
+                    proc.terminate()
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return failed
+
+
+def _execute(
+    fn,
+    payloads: dict[int, object],
+    *,
+    workers: int,
+    task_timeout: float | None,
+    task_retries: int,
+    retry_backoff: float,
+    on_result,
+) -> dict[int, tuple[str, str, int]]:
+    """Attempt every payload, retrying failures with exponential backoff.
+
+    Calls ``on_result(index, result)`` as each task completes; returns
+    ``{index: (kind, message, attempts)}`` for tasks that failed every
+    attempt (bounded by ``1 + task_retries`` tries per task).
+    """
+    remaining = dict(payloads)
+    attempts = {i: 0 for i in payloads}
+    errors: dict[int, tuple[str, str, int]] = {}
+    delay = retry_backoff
+    while remaining:
+        for i in remaining:
+            attempts[i] += 1
+        if workers == 0:
+            failed = _serial_round(fn, remaining, on_result)
+        else:
+            failed = _parallel_round(
+                fn, remaining, workers, task_timeout, on_result
+            )
+        retry: dict[int, object] = {}
+        for i, (kind, message) in failed.items():
+            if attempts[i] <= task_retries:
+                retry[i] = remaining[i]
+            else:
+                errors[i] = (kind, message, attempts[i])
+        remaining = retry
+        if remaining and delay > 0:
+            time.sleep(delay)
+            delay *= 2
+    return errors
+
+
+def run_sweep_detailed(
     scenarios: Sequence[Scenario],
     *,
     hop_sample_every: int = 1000,
     workers: int | None = None,
     cache_dir: str | Path | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
-) -> list[SimResult]:
-    """Run every scenario; return results in input order.
+    task_timeout: float | None = None,
+    task_retries: int = 1,
+    retry_backoff: float = 0.5,
+) -> SweepRun:
+    """Run every scenario fault-tolerantly; never raises on task failure.
 
     Parameters
     ----------
@@ -206,10 +395,26 @@ def run_sweep(
     progress:
         Callback invoked once per completed task (cache hits included),
         in completion order.
+    task_timeout:
+        Per-task wall-clock allowance in seconds (parallel mode only;
+        enforced per round of the queue).  ``None`` disables.
+    task_retries:
+        Extra attempts after a task's first failure (crash, exception,
+        or timeout), with exponential backoff between rounds.
+    retry_backoff:
+        Initial inter-round backoff in seconds (doubles per round).
+
+    Returns
+    -------
+    SweepRun
+        ``results`` in task order (``None`` holes for failed tasks) and
+        structured ``errors`` for every failure.
     """
     scenarios = list(scenarios)
     if not scenarios:
-        return []
+        return SweepRun(results=[], errors=[])
+    if task_retries < 0:
+        raise ValueError("task_retries must be non-negative")
     if cache_dir is None and os.environ.get("REPRO_SWEEP_CACHE"):
         cache_dir = default_cache_dir()
     cache = Path(cache_dir).expanduser() if cache_dir is not None else None
@@ -248,18 +453,59 @@ def run_sweep(
             ))
 
     n_workers = _resolve_workers(workers, len(pending))
-    if n_workers == 0:
-        for i in pending:
-            _finish(i, _run_task((scenarios[i], hop_sample_every)))
-    else:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = {
-                pool.submit(_run_task, (scenarios[i], hop_sample_every)): i
-                for i in pending
-            }
-            for fut in as_completed(futures):
-                _finish(futures[fut], fut.result())
-    return results  # type: ignore[return-value]
+    failures = _execute(
+        _run_task,
+        {i: (scenarios[i], hop_sample_every) for i in pending},
+        workers=n_workers,
+        task_timeout=task_timeout,
+        task_retries=task_retries,
+        retry_backoff=retry_backoff,
+        on_result=_finish,
+    )
+    errors = [
+        TaskError(index=i, kind=kind, message=message, attempts=attempts,
+                  scenario=scenarios[i])
+        for i, (kind, message, attempts) in sorted(failures.items())
+    ]
+    return SweepRun(results=results, errors=errors)
+
+
+def run_sweep(
+    scenarios: Sequence[Scenario],
+    *,
+    hop_sample_every: int = 1000,
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    progress: Callable[[SweepProgress], None] | None = None,
+    task_timeout: float | None = None,
+    task_retries: int = 1,
+    retry_backoff: float = 0.5,
+    on_error: str = "raise",
+) -> list[SimResult]:
+    """Run every scenario; return results in input order.
+
+    Thin wrapper over :func:`run_sweep_detailed`.  Tasks that fail after
+    retries are reported at the *end* of the sweep: ``on_error="raise"``
+    (default) raises :class:`SweepError` — carrying the partial
+    ``SweepRun`` as ``exc.run`` — once every healthy task has finished;
+    ``on_error="partial"`` returns the results list with ``None`` holes
+    at failed indices instead.
+    """
+    if on_error not in ("raise", "partial"):
+        raise ValueError('on_error must be "raise" or "partial"')
+    run = run_sweep_detailed(
+        scenarios,
+        hop_sample_every=hop_sample_every,
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+        task_timeout=task_timeout,
+        task_retries=task_retries,
+        retry_backoff=retry_backoff,
+    )
+    if run.errors and on_error == "raise":
+        raise SweepError(run)
+    return run.results  # type: ignore[return-value]
 
 
 def cached_sweep(
@@ -273,6 +519,8 @@ def cached_sweep(
     cache_dir: str | Path | None = None,
     keep_results: bool = False,
     progress: Callable[[SweepProgress], None] | None = None,
+    task_timeout: float | None = None,
+    task_retries: int = 1,
 ) -> list["SweepPoint"]:
     """Drop-in :func:`repro.analysis.scaling.sweep` on the sweep runner.
 
@@ -296,6 +544,8 @@ def cached_sweep(
         workers=workers,
         cache_dir=cache_dir,
         progress=progress,
+        task_timeout=task_timeout,
+        task_retries=task_retries,
     )
     points = []
     per_n = len(seeds)
@@ -316,13 +566,47 @@ def cached_sweep(
     return points
 
 
-def parallel_map(fn, items: Sequence, workers: int | None = None) -> list:
-    """Order-preserving map for non-Scenario grids (e.g. EXP-A9's
-    speed x seed runs).  ``fn`` must be module-level picklable; serial
-    when ``workers`` resolves below 2."""
+def parallel_map(
+    fn,
+    items: Sequence,
+    workers: int | None = None,
+    *,
+    task_timeout: float | None = None,
+    task_retries: int = 1,
+    retry_backoff: float = 0.5,
+    on_error: str = "raise",
+) -> list:
+    """Order-preserving, fault-tolerant map for non-Scenario grids
+    (e.g. EXP-A9's speed x seed runs).
+
+    ``fn`` must be module-level picklable; serial when ``workers``
+    resolves below 2.  Failed items (worker exception, crash, or
+    timeout) are retried ``task_retries`` times with exponential
+    backoff; ``on_error="raise"`` (default) then raises
+    :class:`SweepError` at the end, ``on_error="partial"`` leaves
+    ``None`` at the failed positions.
+    """
+    if on_error not in ("raise", "partial"):
+        raise ValueError('on_error must be "raise" or "partial"')
     items = list(items)
-    n_workers = _resolve_workers(workers, len(items))
-    if n_workers == 0:
-        return [fn(it) for it in items]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(fn, items))
+    results: list = [None] * len(items)
+
+    def _finish(i: int, res) -> None:
+        results[i] = res
+
+    failures = _execute(
+        fn,
+        dict(enumerate(items)),
+        workers=_resolve_workers(workers, len(items)),
+        task_timeout=task_timeout,
+        task_retries=task_retries,
+        retry_backoff=retry_backoff,
+        on_result=_finish,
+    )
+    if failures and on_error == "raise":
+        errors = [
+            TaskError(index=i, kind=kind, message=message, attempts=attempts)
+            for i, (kind, message, attempts) in sorted(failures.items())
+        ]
+        raise SweepError(SweepRun(results=results, errors=errors))
+    return results

@@ -1,0 +1,120 @@
+"""Tests for retry policy and attempt-level delivery accounting."""
+
+import numpy as np
+import pytest
+
+from repro.faults import DeliveryEngine, LossModel, RetryPolicy
+
+
+class TestRetryPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_backoff": -0.1},
+            {"base_backoff": float("nan")},
+            {"backoff_factor": 0.5},
+            {"jitter": -0.1},
+            {"timeout": 0.0},
+            {"timeout": float("inf")},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_retries_enabled(self):
+        assert not RetryPolicy(max_attempts=1).retries_enabled
+        assert RetryPolicy(max_attempts=2).retries_enabled
+
+
+class TestBackoff:
+    def test_exponential_without_jitter(self):
+        p = RetryPolicy(max_attempts=5, base_backoff=0.1, backoff_factor=2.0,
+                        jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert p.backoff(1, rng) == pytest.approx(0.1)
+        assert p.backoff(2, rng) == pytest.approx(0.2)
+        assert p.backoff(3, rng) == pytest.approx(0.4)
+
+    def test_no_jitter_no_rng_draw(self):
+        p = RetryPolicy(max_attempts=2, jitter=0.0)
+        rng = np.random.default_rng(0)
+        before = rng.bit_generator.state
+        p.backoff(1, rng)
+        assert rng.bit_generator.state == before
+
+    def test_jitter_bounded(self):
+        p = RetryPolicy(max_attempts=2, base_backoff=1.0, jitter=0.25)
+        rng = np.random.default_rng(4)
+        for _ in range(100):
+            d = p.backoff(1, rng)
+            assert 1.0 <= d < 1.25
+
+    def test_attempt_index_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0, np.random.default_rng(0))
+
+
+def _engine(rate, seed=0, **retry_kwargs):
+    return DeliveryEngine(
+        loss=LossModel(rate=rate),
+        retry=RetryPolicy(**retry_kwargs),
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestDeliveryEngine:
+    def test_lossless_is_passthrough(self):
+        eng = _engine(0.0, max_attempts=4)
+        out = eng.send(9)
+        assert out.delivered and out.attempts == 1
+        assert out.packets == out.hops == 9
+        assert out.retransmitted == 0 and out.latency == 0.0
+
+    def test_zero_hop_message_is_free(self):
+        out = _engine(0.5, max_attempts=3).send(0)
+        assert out.delivered and out.packets == 0
+
+    def test_retries_bounded_by_max_attempts(self):
+        eng = _engine(0.95, max_attempts=3, timeout=1e9, base_backoff=0.0,
+                      jitter=0.0)
+        for _ in range(50):
+            out = eng.send(20)
+            assert out.attempts <= 3
+            if not out.delivered:
+                # Every transmission of an abandoned message is waste.
+                assert out.retransmitted == out.packets > 0
+
+    def test_timeout_abandons_before_max_attempts(self):
+        # First backoff alone (1.0s+) blows the 0.5s budget, so the
+        # engine abandons after a single attempt despite max_attempts=10.
+        eng = _engine(0.999, max_attempts=10, base_backoff=1.0, jitter=0.0,
+                      timeout=0.5)
+        out = eng.send(30)
+        assert not out.delivered
+        assert out.attempts == 1
+
+    def test_retransmitted_counts_extra_packets_only(self):
+        eng = _engine(0.4, seed=2, max_attempts=8, timeout=1e9)
+        for _ in range(100):
+            out = eng.send(6)
+            if out.delivered and out.attempts > 1:
+                assert out.retransmitted == out.packets - 6 > 0
+                return
+        pytest.fail("no multi-attempt delivery observed")
+
+    def test_stats_accumulate(self):
+        eng = _engine(0.5, seed=7, max_attempts=2)
+        for _ in range(40):
+            eng.send(5)
+        s = eng.stats
+        assert s.messages == 40
+        assert s.delivered + s.abandoned == 40
+        assert 0.0 < s.delivery_ratio < 1.0
+        assert s.packets >= s.retransmitted_packets
+
+    def test_seed_deterministic(self):
+        a = [_engine(0.3, seed=5, max_attempts=4).send(7) for _ in range(1)]
+        b = [_engine(0.3, seed=5, max_attempts=4).send(7) for _ in range(1)]
+        assert a == b

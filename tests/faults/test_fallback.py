@@ -1,0 +1,68 @@
+"""Tests for the expanding-ring fallback and query metering."""
+
+import pytest
+
+from repro.faults import QueryLedger, expanding_ring_cost
+
+
+class TestExpandingRingCost:
+    def test_zero_hops_free(self):
+        assert expanding_ring_cost(0, 100, 0.02, 10.0) == 0
+        assert expanding_ring_cost(-3, 100, 0.02, 10.0) == 0
+
+    def test_rejects_degenerate_geometry(self):
+        for bad in [dict(n=0), dict(density=0.0), dict(r_tx=0.0)]:
+            kwargs = dict(target_hops=3, n=100, density=0.02, r_tx=10.0)
+            kwargs.update(bad)
+            with pytest.raises(ValueError):
+                expanding_ring_cost(**kwargs)
+
+    def test_monotone_in_target_distance(self):
+        costs = [expanding_ring_cost(h, 500, 0.02, 10.0) for h in (1, 3, 9, 27)]
+        assert costs == sorted(costs)
+        assert costs[0] < costs[-1]
+
+    def test_each_round_capped_at_n(self):
+        # Tiny network, far target: every doubling round costs <= n.
+        n = 20
+        cost = expanding_ring_cost(64, n, 0.02, 10.0)
+        rounds = 8  # TTL 1, 2, 4, ..., 64 -> ceil(log2 64) + 1 rounds
+        assert cost <= rounds * n
+
+    def test_far_target_costs_more_than_one_flood(self):
+        # The restart-per-round semantics: reaching hop 8 pays rings
+        # 1 + 2 + 4 + 8, strictly more than the final ring alone.
+        one_shot = expanding_ring_cost(1, 10_000, 0.02, 10.0)
+        far = expanding_ring_cost(8, 10_000, 0.02, 10.0)
+        assert far > one_shot
+
+
+class TestQueryLedger:
+    def test_empty_ledger_defaults(self):
+        q = QueryLedger()
+        assert q.success_rate == 1.0
+        assert q.degraded_fraction == 0.0
+        assert q.total_packets == 0
+
+    def test_mixed_accounting(self):
+        q = QueryLedger()
+        q.record_direct(4)
+        q.record_fallback(6, 50)
+        q.record_failure(2)
+        assert q.attempts == 3
+        assert q.successes == 2
+        assert q.success_rate == pytest.approx(2 / 3)
+        assert q.degraded_fraction == pytest.approx(1 / 2)
+        assert q.probe_packets == 12
+        assert q.fallback_packets == 50
+        assert q.total_packets == 62
+
+    def test_step_series(self):
+        q = QueryLedger()
+        q.record_direct(1)
+        q.record_failure(1)
+        q.close_step()
+        q.record_direct(1)
+        q.close_step()
+        q.close_step()  # no samples: no entry
+        assert q.success_series == [0.5, 1.0]

@@ -1,0 +1,80 @@
+"""Tests for the per-hop lossy-channel model."""
+
+import numpy as np
+import pytest
+
+from repro.faults import MAX_HOP_LOSS, LossModel
+
+
+class TestValidation:
+    @pytest.mark.parametrize("rate", [-0.1, 1.0, 1.5, float("nan"), float("inf")])
+    def test_bad_rate_rejected(self, rate):
+        with pytest.raises(ValueError):
+            LossModel(rate=rate)
+
+    @pytest.mark.parametrize("coeff", [-0.5, float("nan")])
+    def test_bad_level_coeff_rejected(self, coeff):
+        with pytest.raises(ValueError):
+            LossModel(rate=0.1, level_coeff=coeff)
+
+
+class TestHopLoss:
+    def test_zero_rate_level_blind(self):
+        m = LossModel(rate=0.0, level_coeff=5.0)
+        assert m.hop_loss(0) == 0.0
+        assert m.hop_loss(4) == 0.0
+
+    def test_level_grading(self):
+        m = LossModel(rate=0.05, level_coeff=0.5)
+        assert m.hop_loss(0) == pytest.approx(0.05)
+        assert m.hop_loss(2) == pytest.approx(0.05 * 2.0)
+        assert m.hop_loss(-3) == pytest.approx(0.05)  # clamped at level 0
+
+    def test_capped_at_max(self):
+        m = LossModel(rate=0.5, level_coeff=10.0)
+        assert m.hop_loss(100) == MAX_HOP_LOSS
+
+
+class TestAttempt:
+    def test_zero_rate_draws_nothing(self):
+        """The lossless channel must not consume RNG state — that is
+        what keeps loss_rate=0 runs bit-identical to the old engine."""
+        m = LossModel(rate=0.0)
+        rng = np.random.default_rng(0)
+        before = rng.bit_generator.state
+        ok, tx = m.attempt(7, 0, rng)
+        assert (ok, tx) == (True, 7)
+        assert rng.bit_generator.state == before
+
+    def test_zero_hops_trivial(self):
+        m = LossModel(rate=0.9)
+        rng = np.random.default_rng(0)
+        assert m.attempt(0, 0, rng) == (True, 0)
+
+    def test_failure_charges_partial_route(self):
+        """A lost packet at hop i costs i transmissions, never more."""
+        m = LossModel(rate=0.7)
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            ok, tx = m.attempt(10, 0, rng)
+            if ok:
+                assert tx == 10
+            else:
+                assert 1 <= tx <= 10
+
+    def test_deterministic_under_seed(self):
+        m = LossModel(rate=0.3)
+        a = [m.attempt(5, 0, np.random.default_rng(9)) for _ in range(1)]
+        b = [m.attempt(5, 0, np.random.default_rng(9)) for _ in range(1)]
+        assert a == b
+
+    def test_success_probability_matches_empirics(self):
+        m = LossModel(rate=0.2)
+        rng = np.random.default_rng(1)
+        n = 4000
+        hits = sum(m.attempt(4, 0, rng)[0] for _ in range(n))
+        assert hits / n == pytest.approx(m.attempt_success_probability(4), abs=0.03)
+
+    def test_success_probability_edges(self):
+        assert LossModel(rate=0.5).attempt_success_probability(0) == 1.0
+        assert LossModel(rate=0.0).attempt_success_probability(50) == 1.0

@@ -52,6 +52,75 @@ class TestFailureInjection:
         )
 
 
+class TestFailureMechanics:
+    """White-box tests of the crash/repair model itself
+    (``_advance_failures`` / ``_apply_failures``)."""
+
+    @staticmethod
+    def _sim(**kwargs):
+        from repro.sim.engine import Simulator
+
+        defaults = dict(n=50, steps=5, warmup=0, mobility="stationary",
+                        seed=3, max_levels=2)
+        defaults.update(kwargs)
+        return Simulator(Scenario(**defaults))
+
+    def test_crashed_node_loses_all_edges(self):
+        sim = self._sim(failure_rate=0.05)
+        sim._now = 10.0
+        sim._down_until[7] = 99.0  # node 7 is down
+        edges = np.array([[7, 1], [2, 7], [2, 3], [4, 5]])
+        kept = sim._apply_failures(edges)
+        assert 7 not in kept
+        assert kept.tolist() == [[2, 3], [4, 5]]
+
+    def test_recovery_after_repair_time(self):
+        sim = self._sim(failure_rate=0.05, repair_time=5.0)
+        sim._now = 10.0
+        sim._down_until[7] = 12.0
+        edges = np.array([[7, 1]])
+        assert sim._apply_failures(edges).size == 0  # still down at t=10
+        sim._now = 12.5  # repaired: down_until < now
+        assert sim._apply_failures(edges).tolist() == [[7, 1]]
+
+    def test_zero_rate_is_a_true_noop(self):
+        """failure_rate=0 must neither draw RNG state nor copy edges."""
+        sim = self._sim(failure_rate=0.0)
+        state = sim._failure_rng.bit_generator.state
+        sim._advance_failures(1.0)
+        assert sim._failure_rng.bit_generator.state == state
+        edges = np.array([[0, 1], [2, 3]])
+        assert sim._apply_failures(edges) is edges
+        assert np.all(np.isinf(-sim._down_until))  # nobody ever crashes
+
+    def test_crash_schedule_seed_deterministic(self):
+        def schedule(seed):
+            sim = self._sim(failure_rate=0.2, repair_time=3.0, seed=seed)
+            out = []
+            for _ in range(20):
+                sim._advance_failures(1.0)
+                out.append(sim._down_until.copy())
+            return np.stack(out)
+
+        assert np.array_equal(schedule(5), schedule(5))
+        assert not np.array_equal(schedule(5), schedule(6))
+
+    def test_crash_rate_tracks_poisson_intensity(self):
+        """Over many node-steps the empirical crash probability matches
+        1 - exp(-rate * dt)."""
+        sim = self._sim(n=2000, failure_rate=0.1, repair_time=0.5, seed=1)
+        crashes = 0
+        trials = 0
+        for _ in range(30):
+            up_before = sim._down_until < sim._now + 1.0
+            trials += int(up_before.sum())
+            before = sim._down_until.copy()
+            sim._advance_failures(1.0)
+            crashes += int((sim._down_until != before).sum())
+        expected = -np.expm1(-0.1 * 1.0)
+        assert crashes / trials == pytest.approx(expected, rel=0.15)
+
+
 class TestComponentLifetimes:
     @pytest.fixture(scope="class")
     def result(self):

@@ -1,0 +1,162 @@
+"""Equivalence and behavior tests for the lossy control plane.
+
+The acceptance bar for the fault subsystem is exactness at zero: with
+``loss_rate=0`` every metered series must be bit-identical to the
+pre-fault engine.  The tests here enforce that at two layers (the
+handoff engine against an explicit zero-loss DeliveryEngine, and the
+full simulator against inert fault knobs), then pin down the lossy
+regime: determinism, retransmission accounting, stale-server recovery,
+and query degradation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HandoffEngine
+from repro.faults import DeliveryEngine, LossModel, RetryPolicy
+from repro.geometry import disc_for_density
+from repro.hierarchy import build_hierarchy
+from repro.radio import radius_for_degree, unit_disk_edges
+from repro.sim import Scenario, run_scenario
+
+
+def _fingerprint(res):
+    """Every metered series of a SimResult, for bit-identity checks."""
+    return (
+        res.phi, res.gamma, res.f0, res.handoff_rate, res.mean_degree,
+        res.giant_fraction,
+        dict(res.level_series.link_events),
+        dict(res.level_series.address_changes),
+        res.h_network, res.h_levels,
+        res.ledger.phi_k(), res.ledger.gamma_k(), res.ledger.f_k(),
+        res.ledger.retransmitted_packets, res.ledger.abandoned_entries,
+        res.ledger.recovered_entries, list(res.ledger.stale_series),
+    )
+
+
+def _snapshots(n=120, steps=6, seed=0):
+    from repro.mobility import RandomWaypoint
+
+    density = 0.02
+    region = disc_for_density(n, density)
+    model = RandomWaypoint(n, region, 8.0, np.random.default_rng(seed))
+    r = radius_for_degree(9.0, density)
+
+    def snap():
+        edges = unit_disk_edges(model.positions.copy(), r)
+        return build_hierarchy(np.arange(n), edges)
+
+    snaps = [snap()]
+    for _ in range(steps):
+        model.step(1.0)
+        snaps.append(snap())
+    return snaps
+
+
+def unit_hops(u, v):
+    return 0 if u == v else 1
+
+
+class TestZeroLossExactness:
+    def test_engine_with_zero_loss_delivery_matches_none(self):
+        """A zero-rate DeliveryEngine must be an exact pass-through for
+        the handoff engine: same packets, same assignment, no RNG use."""
+        snaps = _snapshots()
+        plain = HandoffEngine()
+        rng = np.random.default_rng(99)
+        state_before = rng.bit_generator.state
+        lossless = DeliveryEngine(
+            loss=LossModel(rate=0.0),
+            retry=RetryPolicy(max_attempts=8, jitter=0.5),
+            rng=rng,
+        )
+        faulted = HandoffEngine()
+        for t, h in enumerate(snaps):
+            a = plain.observe(h, unit_hops)
+            b = faulted.observe(h, unit_hops, delivery=lossless, now=float(t))
+            assert a.migration_packets == b.migration_packets
+            assert a.reorg_packets == b.reorg_packets
+            assert a.registration_packets == b.registration_packets
+            assert b.retransmitted_packets == 0
+            assert b.abandoned_entries == 0
+            assert b.stale_entries == 0
+        assert plain.assignment.servers == faulted.assignment.servers
+        assert rng.bit_generator.state == state_before
+
+    def test_simulation_bit_identical_with_inert_fault_knobs(self):
+        """loss_rate=0 plus arbitrary retry settings must replay the
+        default scenario exactly — the retry knobs are inert at zero."""
+        base = Scenario(n=80, steps=8, warmup=2, speed=1.5, seed=3,
+                        max_levels=3, hop_mode="euclidean")
+        knobbed = Scenario(n=80, steps=8, warmup=2, speed=1.5, seed=3,
+                           max_levels=3, hop_mode="euclidean",
+                           loss_rate=0.0, retry_attempts=7,
+                           retry_backoff=0.9, retry_jitter=0.5,
+                           retry_timeout=42.0)
+        assert _fingerprint(run_scenario(base, hop_sample_every=4)) == \
+            _fingerprint(run_scenario(knobbed, hop_sample_every=4))
+
+    def test_query_sampling_does_not_perturb_metered_series(self):
+        """Queries draw from their own RNG stream, so sampling them must
+        leave phi/gamma/f0 and every handoff series untouched."""
+        quiet = Scenario(n=80, steps=8, warmup=2, speed=1.5, seed=3,
+                         max_levels=3, hop_mode="euclidean")
+        sampled = Scenario(n=80, steps=8, warmup=2, speed=1.5, seed=3,
+                           max_levels=3, hop_mode="euclidean",
+                           queries_per_step=4)
+        a = run_scenario(quiet, hop_sample_every=4)
+        b = run_scenario(sampled, hop_sample_every=4)
+        assert _fingerprint(a) == _fingerprint(b)
+        assert a.queries is None and a.query_success_rate is None
+        assert b.queries is not None
+        assert b.queries.attempts == 8 * 4
+        assert b.query_success_rate == 1.0  # lossless: every query lands
+
+
+LOSSY = Scenario(n=100, steps=12, warmup=2, speed=1.5, seed=11,
+                 max_levels=3, hop_mode="euclidean",
+                 loss_rate=0.08, retry_attempts=3, queries_per_step=4)
+
+
+class TestLossyBehavior:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scenario(LOSSY, hop_sample_every=4)
+
+    def test_seed_deterministic(self, result):
+        again = run_scenario(LOSSY, hop_sample_every=4)
+        assert _fingerprint(result) == _fingerprint(again)
+        assert result.queries.success_series == again.queries.success_series
+
+    def test_retransmissions_metered(self, result):
+        assert result.ledger.retransmitted_packets > 0
+        assert result.ledger.retransmission_rate > 0
+
+    def test_abandonment_leaves_then_recovers_stale_entries(self, result):
+        led = result.ledger
+        assert led.abandoned_entries > 0
+        assert len(led.stale_series) == LOSSY.steps
+        assert max(led.stale_series) > 0
+        # Recoveries happen and take at least one step each.
+        assert led.recovered_entries > 0
+        assert led.mean_recovery_time >= LOSSY.dt
+
+    def test_lossy_costs_more_than_lossless(self, result):
+        from dataclasses import replace
+
+        clean = run_scenario(replace(LOSSY, loss_rate=0.0), hop_sample_every=4)
+        assert result.handoff_rate > clean.handoff_rate
+
+    def test_query_ledger_populated(self, result):
+        q = result.queries
+        assert q.attempts == LOSSY.steps * LOSSY.queries_per_step
+        assert 0.0 <= q.success_rate <= 1.0
+        assert q.total_packets > 0
+
+    def test_rates_scale_with_loss(self):
+        from dataclasses import replace
+
+        mild = run_scenario(replace(LOSSY, loss_rate=0.02), hop_sample_every=4)
+        harsh = run_scenario(replace(LOSSY, loss_rate=0.25), hop_sample_every=4)
+        assert harsh.ledger.retransmission_rate > mild.ledger.retransmission_rate
+        assert harsh.ledger.abandonment_rate >= mild.ledger.abandonment_rate

@@ -28,6 +28,67 @@ class TestValidation:
         sc = Scenario()
         assert sc.n == 200
 
+    @pytest.mark.parametrize(
+        "field",
+        ["density", "target_degree", "speed", "dt", "detour", "failure_rate",
+         "repair_time", "loss_rate", "loss_level_coeff", "retry_attempts",
+         "retry_backoff", "retry_backoff_factor", "retry_jitter",
+         "retry_timeout"],
+    )
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_rejects_non_finite_floats(self, field, bad):
+        with pytest.raises((ValueError, TypeError)):
+            Scenario(**{field: bad})
+
+    def test_rejects_non_finite_speed_tuple(self):
+        with pytest.raises(ValueError):
+            Scenario(speed=(1.0, float("nan")))
+
+    def test_error_message_names_the_field(self):
+        with pytest.raises(ValueError, match="density"):
+            Scenario(density=float("nan"))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"loss_rate": -0.01},
+            {"loss_rate": 1.0},   # certain loss: every message spins
+            {"loss_rate": 1.5},
+            {"loss_level_coeff": -1.0},
+            {"retry_attempts": 0},
+            {"retry_backoff": -0.1},
+            {"retry_backoff_factor": 0.5},
+            {"retry_jitter": -0.2},
+            {"retry_timeout": 0.0},
+            {"queries_per_step": -1},
+        ],
+    )
+    def test_rejects_bad_fault_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            Scenario(**kwargs)
+
+    def test_loss_rate_message_is_actionable(self):
+        with pytest.raises(ValueError, match=r"loss_rate.*\[0, 1\)"):
+            Scenario(loss_rate=1.2)
+
+    def test_faults_enabled_gate(self):
+        assert not Scenario().faults_enabled
+        assert not Scenario(retry_attempts=5).faults_enabled
+        assert Scenario(loss_rate=0.01).faults_enabled
+
+    def test_fault_helpers_mirror_fields(self):
+        sc = Scenario(loss_rate=0.1, loss_level_coeff=0.2, retry_attempts=3,
+                      retry_backoff=0.5, retry_backoff_factor=3.0,
+                      retry_jitter=0.0, retry_timeout=9.0)
+        assert sc.loss_model().rate == 0.1
+        assert sc.loss_model().level_coeff == 0.2
+        policy = sc.retry_policy()
+        assert policy.max_attempts == 3
+        assert policy.base_backoff == 0.5
+        assert policy.backoff_factor == 3.0
+        assert policy.jitter == 0.0
+        assert policy.timeout == 9.0
+
 
 class TestDerivedQuantities:
     def test_fixed_density_scaling(self):

@@ -112,6 +112,43 @@ class TestCache:
         serial = run_sweep(grid, hop_sample_every=4)
         assert _fingerprint(res[0]) == _fingerprint(serial[0])
 
+    def test_truncated_entry_is_a_miss_and_self_heals(self, tmp_path):
+        """A pickle cut off mid-write (crash during a non-atomic copy,
+        disk full...) must re-simulate, then overwrite the bad entry."""
+        grid = expand_grid(BASE, [60], seeds=(0,))
+        first = run_sweep(grid, hop_sample_every=4, cache_dir=tmp_path)
+        path = tmp_path / f"{scenario_key(grid[0], 4)}.pkl"
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        again = run_sweep(grid, hop_sample_every=4, cache_dir=tmp_path)
+        assert _fingerprint(again[0]) == _fingerprint(first[0])
+        assert path.read_bytes() == blob  # entry rewritten whole
+
+    def test_wrong_object_type_is_a_miss(self, tmp_path):
+        """A valid pickle of the wrong type (cache dir shared with other
+        tooling) must be treated as a miss, not returned as a result."""
+        import pickle
+
+        grid = expand_grid(BASE, [60], seeds=(0,))
+        path = tmp_path / f"{scenario_key(grid[0], 4)}.pkl"
+        path.write_bytes(pickle.dumps({"not": "a SimResult"}))
+        res = run_sweep(grid, hop_sample_every=4, cache_dir=tmp_path)
+        assert _fingerprint(res[0]) == _fingerprint(
+            run_sweep(grid, hop_sample_every=4)[0]
+        )
+
+    def test_corrupt_entry_through_cached_sweep(self, tmp_path):
+        """End-to-end: cached_sweep over a poisoned cache still returns
+        correct aggregates."""
+        metrics = {"total": lambda r: r.handoff_rate}
+        clean = cached_sweep([60], BASE, metrics, seeds=(0,))
+        for sc in expand_grid(BASE, [60], seeds=(0,)):
+            bad = tmp_path / f"{scenario_key(sc, 1000)}.pkl"
+            bad.write_bytes(b"\x80\x04garbage")
+        poisoned = cached_sweep([60], BASE, metrics, seeds=(0,),
+                                cache_dir=tmp_path)
+        assert poisoned[0].values == clean[0].values
+
     def test_no_cache_dir_writes_nothing(self, tmp_path, monkeypatch):
         monkeypatch.delenv("REPRO_SWEEP_CACHE", raising=False)
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

@@ -1,0 +1,162 @@
+"""Crash, timeout, and retry tests for the fault-tolerant sweep runner.
+
+Worker functions live at module level so ``ProcessPoolExecutor`` can
+pickle them by qualified name; the crash tests genuinely SIGKILL the
+worker process, exercising the ``BrokenProcessPool`` path end to end.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.sim import (
+    Scenario,
+    SweepError,
+    SweepRun,
+    TaskError,
+    expand_grid,
+    parallel_map,
+    run_sweep,
+    run_sweep_detailed,
+)
+
+GOOD = Scenario(n=60, steps=3, warmup=1, speed=1.5, hop_mode="euclidean",
+                max_levels=2)
+BAD = Scenario(n=60, steps=3, warmup=1, mobility="nope", max_levels=2)
+"""Constructs fine but raises inside the worker at model build time."""
+
+
+def _inc(x):
+    return x + 1
+
+
+def _boom(x):
+    raise ValueError(f"bad item {x}")
+
+
+def _die_once(path):
+    """SIGKILL the worker on first call; succeed once the sentinel exists."""
+    if not os.path.exists(path):
+        open(path, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return "survived"
+
+
+def _die_always(_x):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _hang(_x):
+    time.sleep(600)
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_retried_and_succeeds(self, tmp_path):
+        sentinel = str(tmp_path / "crashed-once")
+        out = parallel_map(_die_once, [sentinel], workers=2,
+                           task_retries=1, retry_backoff=0.01)
+        assert out == ["survived"]
+
+    def test_killed_worker_yields_partial_results_and_error_record(self):
+        with pytest.raises(SweepError) as ei:
+            parallel_map(_die_always, [7], workers=2,
+                         task_retries=1, retry_backoff=0.01)
+        run = ei.value.run
+        assert isinstance(run, SweepRun) and not run.ok
+        assert run.results == [None]
+        (err,) = run.errors
+        assert err.kind == "crash"
+        assert err.index == 0
+        assert err.attempts == 2  # first try + one retry
+        assert "died" in err.message or "broke" in err.message
+
+    def test_partial_mode_returns_none_holes(self):
+        out = parallel_map(_die_always, [7], workers=2, task_retries=0,
+                           retry_backoff=0.01, on_error="partial")
+        assert out == [None]
+
+
+class TestTimeout:
+    def test_hung_worker_times_out_with_record(self):
+        with pytest.raises(SweepError) as ei:
+            parallel_map(_hang, [None], workers=2, task_timeout=0.5,
+                         task_retries=0, retry_backoff=0.01)
+        (err,) = ei.value.run.errors
+        assert err.kind == "timeout"
+        assert "task_timeout" in err.message
+
+
+class TestExceptionRetries:
+    def test_attempts_bounded_and_counted(self):
+        with pytest.raises(SweepError) as ei:
+            parallel_map(_boom, [1], workers=0, task_retries=2,
+                         retry_backoff=0.0)
+        (err,) = ei.value.run.errors
+        assert err.kind == "exception"
+        assert err.attempts == 3  # 1 + task_retries
+        assert "bad item 1" in err.message
+
+    def test_healthy_items_unaffected_by_failures(self):
+        out = parallel_map(_inc, [1, 2, 3], workers=0, task_retries=0)
+        assert out == [2, 3, 4]
+        partial = parallel_map(_boom, [1, 2], workers=0, task_retries=0,
+                               retry_backoff=0.0, on_error="partial")
+        assert partial == [None, None]
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep_detailed([GOOD], task_retries=-1)
+        with pytest.raises(ValueError):
+            run_sweep([GOOD], on_error="sometimes")
+
+
+class TestSweepPartialResults:
+    """The acceptance scenario: a grid where one task fails must still
+    complete every healthy task and report the failure structurally."""
+
+    def test_detailed_run_completes_healthy_tasks(self):
+        run = run_sweep_detailed([GOOD, BAD], hop_sample_every=4,
+                                 task_retries=0, retry_backoff=0.0)
+        assert len(run.results) == 2
+        assert run.results[0] is not None
+        assert run.results[0].scenario == GOOD
+        assert run.results[1] is None
+        assert not run.ok
+        (err,) = run.errors
+        assert isinstance(err, TaskError)
+        assert err.index == 1 and err.kind == "exception"
+        assert err.scenario == BAD
+        assert "unknown mobility" in err.message
+
+    def test_run_sweep_raises_at_end_with_partials_attached(self):
+        with pytest.raises(SweepError) as ei:
+            run_sweep([GOOD, BAD], hop_sample_every=4, task_retries=0,
+                      retry_backoff=0.0)
+        run = ei.value.run
+        assert run.results[0] is not None and run.results[1] is None
+        assert "task 1" in str(ei.value)
+
+    def test_run_sweep_partial_mode(self):
+        out = run_sweep([BAD, GOOD], hop_sample_every=4, task_retries=0,
+                        retry_backoff=0.0, on_error="partial")
+        assert out[0] is None and out[1] is not None
+
+    def test_failed_task_is_retried(self):
+        run = run_sweep_detailed([BAD], hop_sample_every=4, task_retries=2,
+                                 retry_backoff=0.0)
+        assert run.errors[0].attempts == 3
+
+    def test_parallel_grid_with_crasher_keeps_healthy_results(self):
+        """Mixed grid through real processes: the healthy scenarios all
+        finish (possibly via retry after the pool breaks) and match the
+        serial run bit-for-bit."""
+        grid = expand_grid(GOOD, [60], seeds=(0, 1)) + [BAD]
+        run = run_sweep_detailed(grid, hop_sample_every=4, workers=2,
+                                 task_retries=2, retry_backoff=0.01)
+        assert [r is not None for r in run.results] == [True, True, False]
+        serial = run_sweep(grid[:2], hop_sample_every=4, workers=0)
+        for got, want in zip(run.results[:2], serial):
+            assert got.phi == want.phi and got.gamma == want.gamma
+        assert run.errors[0].scenario == BAD
