@@ -104,6 +104,21 @@ def test_bench_simulator_step(benchmark):
     assert res.elapsed > 0
 
 
+def test_bench_simulator_step_profiled(benchmark):
+    """Same step with phase timers on — tracks the instrumentation
+    overhead (acceptance: within 5% of the plain step)."""
+    from repro.sim import Scenario, Simulator
+
+    sc = Scenario(n=400, steps=1, warmup=0, speed=1.0, hop_mode="euclidean",
+                  max_levels=3, seed=0)
+
+    def one_run():
+        return Simulator(sc, hop_sample_every=10_000, profile=True).run()
+
+    res = benchmark.pedantic(one_run, rounds=3, iterations=1, warmup_rounds=1)
+    assert res.timings is not None and res.timings.steps == 1
+
+
 @pytest.fixture(scope="module")
 def snapshot_pair(deployment):
     """Two consecutive unit-disk snapshots (one mobility step apart),

@@ -25,6 +25,9 @@ Subpackages
     delivery accounting, expanding-ring degradation (ROBUSTNESS.md).
 ``repro.sim``
     The time-stepped simulator composing everything.
+``repro.obs``
+    Run telemetry: phase timers, run manifests, JSONL export, sweep
+    profiling reports (OBSERVABILITY.md).
 ``repro.analysis``
     Closed-form theory (Eqs. 3–24), shape fitting, sweeps.
 ``repro.experiments``
@@ -54,6 +57,7 @@ __all__ = [
     "core",
     "faults",
     "sim",
+    "obs",
     "analysis",
     "experiments",
     "app",

@@ -6,6 +6,7 @@
     python -m repro experiment EXP-T4 [--full] [--seeds 0,1]
     python -m repro simulate --n 300 --steps 60 --speed 1.5 [--trace]
     python -m repro sweep --ns 200,400,800 --seeds 0,1,2 --workers 4
+    python -m repro profile --ns 200,400 --seeds 0,1 [--manifest runs.jsonl]
     python -m repro hierarchy --n 120 [--seed 7]
     python -m repro info
 
@@ -70,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "when --loss-rate > 0 (default 4)")
     p_sim.add_argument("--trace", action="store_true",
                        help="print the tail of the event trace")
+    p_sim.add_argument("--profile", action="store_true",
+                       help="meter pipeline phases; print the breakdown")
+    p_sim.add_argument("--manifest", default=None, metavar="PATH",
+                       help="write a run manifest (JSON) to this path")
+    p_sim.add_argument("--trace-jsonl", default=None, metavar="PATH",
+                       help="with --trace: also write the full trace as JSONL")
 
     p_rep = sub.add_parser("report", help="run experiments, emit a markdown report")
     p_rep.add_argument("--out", default=None, help="write the report to this file")
@@ -115,6 +122,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--json", default=None, metavar="PATH",
                       help="also write the aggregated points as JSON")
     p_sw.add_argument("--quiet", action="store_true",
+                      help="suppress per-task progress lines")
+
+    p_pr = sub.add_parser(
+        "profile",
+        help="profiled sweep: per-phase breakdown, cache hits, throughput")
+    p_pr.add_argument("--ns", default="100,200",
+                      help="comma-separated node counts (default 100,200)")
+    p_pr.add_argument("--seeds", default="0,1",
+                      help="comma-separated seeds (default 0,1)")
+    p_pr.add_argument("--steps", type=int, default=30)
+    p_pr.add_argument("--warmup", type=int, default=10)
+    p_pr.add_argument("--speed", type=float, default=1.0)
+    p_pr.add_argument("--dt", type=float, default=1.0)
+    p_pr.add_argument("--density", type=float, default=0.02)
+    p_pr.add_argument("--degree", type=float, default=9.0)
+    p_pr.add_argument("--hops", default="euclidean",
+                      choices=["auto", "bfs", "euclidean"])
+    p_pr.add_argument("--workers", type=int, default=None,
+                      help="process count (default: REPRO_SWEEP_WORKERS or serial)")
+    p_pr.add_argument("--cache-dir", default=None,
+                      help="result cache directory "
+                           "(default: ~/.cache/repro/sweeps)")
+    p_pr.add_argument("--no-cache", action="store_true",
+                      help="always re-simulate, never touch the cache")
+    p_pr.add_argument("--manifest", default=None, metavar="PATH",
+                      help="write one run manifest per task as JSONL")
+    p_pr.add_argument("--quiet", action="store_true",
                       help="suppress per-task progress lines")
 
     p_h = sub.add_parser("hierarchy", help="build and render a hierarchy")
@@ -212,7 +246,7 @@ def _cmd_simulate(args) -> int:
         sc = make_scenario(args.preset, **kwargs)
     else:
         sc = Scenario(**kwargs)
-    sim = Simulator(sc, trace=args.trace)
+    sim = Simulator(sc, trace=args.trace, profile=args.profile)
     res = sim.run()
     print(f"n={sc.n}  L<={levels}  mu={sc.speed} m/s  "
           f"{sc.duration:.0f} s metered  (seed {sc.seed})")
@@ -238,6 +272,20 @@ def _cmd_simulate(args) -> int:
         for line in res.trace.to_lines(limit=20):
             print(" ", line)
         print(f"  summary: {res.trace.summary()}")
+        if args.trace_jsonl:
+            count = res.trace.to_jsonl(args.trace_jsonl)
+            print(f"  trace written to {args.trace_jsonl} ({count} records)")
+    if args.profile and res.timings is not None:
+        print(f"\nphase breakdown (wall {res.timings.wall_seconds:.2f} s):")
+        for line in res.timings.to_lines():
+            print(" ", line)
+    if args.manifest:
+        from repro.obs import RunManifest
+
+        path = RunManifest.from_result(res, hop_sample_every=25).write(
+            args.manifest
+        )
+        print(f"manifest written to {path}")
     return 0
 
 
@@ -305,6 +353,57 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from dataclasses import replace
+
+    from repro.analysis import levels_for
+    from repro.obs import RunManifest, SweepReport, write_jsonl
+    from repro.sim import (
+        Scenario,
+        default_cache_dir,
+        expand_grid,
+        print_progress,
+        run_sweep_detailed,
+    )
+
+    ns = tuple(int(x) for x in args.ns.split(",") if x.strip())
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
+    if not ns or not seeds:
+        print("need at least one size and one seed", file=sys.stderr)
+        return 2
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    base = Scenario(
+        n=ns[0], steps=args.steps, warmup=args.warmup, speed=args.speed,
+        dt=args.dt, density=args.density, target_degree=args.degree,
+        hop_mode=args.hops,
+    )
+    grid = expand_grid(
+        base, ns, seeds,
+        scenario_for=lambda sc, n: replace(sc, max_levels=levels_for(n)),
+    )
+    report = SweepReport()
+
+    def _progress(p):
+        report.record(p)
+        if not args.quiet:
+            print_progress(p)
+
+    run = run_sweep_detailed(
+        grid, workers=args.workers, cache_dir=cache_dir,
+        progress=_progress, profile=True,
+    )
+    report.finish(run)
+    print(report.render())
+    if args.manifest:
+        manifests = [
+            RunManifest.from_result(r).to_dict()
+            for r in run.results if r is not None
+        ]
+        write_jsonl(args.manifest, manifests)
+        print(f"{len(manifests)} manifests written to {args.manifest}")
+    return 0 if run.ok else 1
+
+
 def _cmd_hierarchy(args) -> int:
     from repro.geometry import disc_for_density
     from repro.hierarchy import build_hierarchy, render_hierarchy, render_summary
@@ -353,6 +452,8 @@ def main(argv=None) -> int:
         return _cmd_simulate(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "hierarchy":
         return _cmd_hierarchy(args)
     if args.command == "report":

@@ -1,0 +1,43 @@
+"""repro.obs — run telemetry and profiling.
+
+The observability layer for the simulator and sweep runner:
+
+* :class:`~repro.obs.timers.StepTimings` — per-phase wall-clock
+  accumulators the engine fills when run with ``profile=True``
+  (bit-identical metrics; timing never touches an RNG stream).
+* :class:`~repro.obs.manifest.RunManifest` — provenance + cost record
+  (scenario hash, ``CODE_VERSION``, platform, phase breakdown) for one
+  run, serialized as JSON.
+* JSONL export (:mod:`repro.obs.export`) — traces, manifests, and
+  counter records as JSON Lines for offline analysis.
+* :class:`~repro.obs.report.SweepReport` — sweep-level aggregation
+  (throughput, ETA, cache-hit rate, retry/timeout counts, per-n phase
+  breakdowns) behind the ``repro profile`` CLI.
+
+See docs/OBSERVABILITY.md for usage and schemas.
+"""
+
+from repro.obs.export import (
+    jsonl_dumps,
+    read_jsonl,
+    result_counters,
+    trace_from_records,
+    trace_records,
+    write_jsonl,
+)
+from repro.obs.manifest import RunManifest
+from repro.obs.report import SweepReport
+from repro.obs.timers import PHASES, StepTimings
+
+__all__ = [
+    "PHASES",
+    "StepTimings",
+    "RunManifest",
+    "SweepReport",
+    "jsonl_dumps",
+    "write_jsonl",
+    "read_jsonl",
+    "trace_records",
+    "trace_from_records",
+    "result_counters",
+]

@@ -1,0 +1,137 @@
+"""Run manifests: a portable, JSON-safe record of one simulation run.
+
+A manifest captures *provenance* (scenario hash, ``CODE_VERSION``,
+package versions, platform) and *cost* (wall time, per-phase breakdown)
+next to the headline metrics, so a result file on disk can always answer
+"what produced this, and where did the time go?".  Manifests are plain
+JSON; a list of them streams naturally as JSONL via
+:func:`repro.obs.export.write_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+import sys
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = ["RunManifest"]
+
+SCHEMA = "repro.manifest/v1"
+
+
+def _platform_info() -> dict:
+    import numpy
+
+    import repro
+
+    return {
+        "python": sys.version.split()[0],
+        "platform": _platform.platform(),
+        "numpy": numpy.__version__,
+        "repro": repro.__version__,
+    }
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance + cost record for one :class:`~repro.sim.metrics.SimResult`.
+
+    Attributes
+    ----------
+    scenario_key:
+        The sweep cache key (SHA-256 over scenario, cadence, and
+        ``CODE_VERSION``) — the run's stable identity.
+    code_version:
+        :data:`repro.sim.sweep.CODE_VERSION` at creation time.
+    scenario:
+        The full scenario as a JSON-safe dict (numpy scalars normalized).
+    platform:
+        Interpreter/OS/package versions the run executed under.
+    wall_seconds:
+        Measured wall time of the run (0 when the run was not profiled).
+    phases:
+        Per-phase wall-clock totals from :class:`~repro.obs.timers.StepTimings`
+        (empty when the run was not profiled).
+    metrics:
+        Headline scalar metrics (phi, gamma, handoff rate, f0, ...).
+    """
+
+    scenario_key: str
+    code_version: str
+    scenario: dict
+    platform: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    phases: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    schema: str = SCHEMA
+
+    @classmethod
+    def from_result(cls, res, hop_sample_every: int = 1000) -> "RunManifest":
+        """Build a manifest from a finished :class:`SimResult`.
+
+        ``hop_sample_every`` must match the value the run used — it is
+        part of the cache key.
+        """
+        # Imported here: obs must stay importable before repro.sim
+        # finishes initializing (the engine lazily imports obs.timers).
+        from repro.sim.sweep import CODE_VERSION, normalize_for_json, scenario_key
+
+        timings = getattr(res, "timings", None)
+        return cls(
+            scenario_key=scenario_key(res.scenario, hop_sample_every),
+            code_version=CODE_VERSION,
+            scenario=normalize_for_json(asdict(res.scenario)),
+            platform=_platform_info(),
+            wall_seconds=float(timings.wall_seconds) if timings else 0.0,
+            phases=dict(timings.totals) if timings else {},
+            metrics={
+                "phi": float(res.phi),
+                "gamma": float(res.gamma),
+                "handoff_rate": float(res.handoff_rate),
+                "f0": float(res.f0),
+                "mean_degree": float(res.mean_degree),
+                "giant_fraction": float(res.giant_fraction),
+                "elapsed_sim_seconds": float(res.elapsed),
+            },
+        )
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form, ready for JSON or JSONL streaming."""
+        return asdict(self)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialize as (pretty-printed) JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunManifest":
+        if d.get("schema", SCHEMA) != SCHEMA:
+            raise ValueError(f"unsupported manifest schema {d.get('schema')!r}")
+        return cls(
+            scenario_key=str(d["scenario_key"]),
+            code_version=str(d["code_version"]),
+            scenario=dict(d.get("scenario", {})),
+            platform=dict(d.get("platform", {})),
+            wall_seconds=float(d.get("wall_seconds", 0.0)),
+            phases={str(k): float(v) for k, v in d.get("phases", {}).items()},
+            metrics=dict(d.get("metrics", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        return cls.from_dict(json.loads(text))
+
+    def write(self, path: str | Path) -> Path:
+        """Write the manifest as pretty-printed JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def read(cls, path: str | Path) -> "RunManifest":
+        return cls.from_json(Path(path).read_text())

@@ -15,6 +15,7 @@ from repro.sim.sweep import (
     cached_sweep,
     default_cache_dir,
     expand_grid,
+    normalize_for_json,
     parallel_map,
     print_progress,
     run_sweep,
@@ -44,6 +45,7 @@ __all__ = [
     "cached_sweep",
     "default_cache_dir",
     "expand_grid",
+    "normalize_for_json",
     "parallel_map",
     "print_progress",
     "run_sweep",

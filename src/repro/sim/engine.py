@@ -15,6 +15,8 @@ before metering starts.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.clustering.state import StateTracker
@@ -46,7 +48,8 @@ class Simulator:
     """Executes one :class:`~repro.sim.scenario.Scenario`."""
 
     def __init__(self, scenario: Scenario, hop_sample_every: int = 25,
-                 trace: bool = False, trace_capacity: int | None = 50_000):
+                 trace: bool = False, trace_capacity: int | None = 50_000,
+                 profile: bool = False):
         self.sc = scenario
         self.hop_sample_every = max(int(hop_sample_every), 1)
         self.trace = None
@@ -54,6 +57,14 @@ class Simulator:
             from repro.sim.trace import EventTrace
 
             self.trace = EventTrace(capacity=trace_capacity)
+        # Phase timers (repro.obs): wall-clock only, never an RNG stream,
+        # so a profiled run replays bit-identically.  Imported lazily to
+        # keep the engine importable while repro.obs initializes.
+        self.timings = None
+        if profile:
+            from repro.obs.timers import StepTimings
+
+            self.timings = StepTimings()
         # "faults" and "queries" are spawned last: SeedSequence.spawn is
         # prefix-stable, so pre-fault scenarios replay bit-identically.
         rngs = spawn_rngs(
@@ -127,7 +138,15 @@ class Simulator:
         return edges[keep]
 
     def _build(self, positions: np.ndarray):
-        edges = self._apply_failures(unit_disk_edges(positions, self.sc.r_tx))
+        edges = self._edges(positions)
+        return edges, self._elect(positions, edges)
+
+    def _edges(self, positions: np.ndarray) -> np.ndarray:
+        """Unit-disk rebuild (k-d tree) plus crash filtering."""
+        return self._apply_failures(unit_disk_edges(positions, self.sc.r_tx))
+
+    def _elect(self, positions: np.ndarray, edges: np.ndarray):
+        """Hierarchy (re-)election on the current topology."""
         if self._maintainer is not None:
             if self.sc.election_mode == "persistent":
                 h = self._maintainer.update(
@@ -139,8 +158,8 @@ class Simulator:
                     edges,
                     positions=positions if self.sc.level_mode == "radio" else None,
                 )
-            return edges, h
-        h = build_hierarchy(
+            return h
+        return build_hierarchy(
             np.arange(self.sc.n),
             edges,
             max_levels=self.sc.max_levels,
@@ -150,7 +169,6 @@ class Simulator:
             positions=positions if self.sc.level_mode == "radio" else None,
             r0=self.sc.r_tx if self.sc.level_mode == "radio" else None,
         )
-        return edges, h
 
     def _hop_fn(self, positions: np.ndarray, edges: np.ndarray):
         if self.sc.resolved_hop_mode == "bfs":
@@ -160,8 +178,25 @@ class Simulator:
     # -- main loop -----------------------------------------------------------------
 
     def run(self) -> SimResult:
-        """Execute warmup then the metered loop; return all collected metrics."""
+        """Execute warmup then the metered loop; return all collected metrics.
+
+        When the simulator was built with ``profile=True``, each pipeline
+        phase is metered into ``self.timings`` with :func:`time.perf_counter`
+        between phase boundaries — pure wall-clock observation, so every
+        metric series stays bit-identical to an unprofiled run.
+        """
         sc = self.sc
+        timings = self.timings
+        mark = None
+        if timings is not None:
+            t_wall = t_last = time.perf_counter()
+
+            def mark(phase: str) -> None:
+                nonlocal t_last
+                now = time.perf_counter()
+                timings.add(phase, now - t_last)
+                t_last = now
+
         for _ in range(sc.warmup):
             self.model.step(sc.dt)
 
@@ -190,12 +225,21 @@ class Simulator:
         prev_level_edges = level_edge_keys(hierarchy, sc.n)
         self._observe_states(state_trackers, hierarchy)
         prev_hierarchy = hierarchy
+        if mark is not None:
+            mark("setup")
 
         for step in range(sc.steps):
             self.model.step(sc.dt)
             self._advance_failures(sc.dt)
             positions = self.model.positions.copy()
-            edges, hierarchy = self._build(positions)
+            if mark is not None:
+                mark("mobility")
+            edges = self._edges(positions)
+            if mark is not None:
+                mark("rebuild")
+            hierarchy = self._elect(positions, edges)
+            if mark is not None:
+                mark("hierarchy")
             hop_fn = self._hop_fn(positions, edges)
 
             report = engine.observe(
@@ -203,6 +247,8 @@ class Simulator:
                 delivery=self._delivery, now=(step + 1) * sc.dt,
             )
             ledger.record(report, sc.dt)
+            if mark is not None:
+                mark("handoff")
             link_tracker.observe(edges)
             if queries is not None:
                 self._sample_queries(hierarchy, engine, hop_fn, queries)
@@ -245,6 +291,8 @@ class Simulator:
                 level_series.add_address_changes(k, changed)
             prev_hierarchy = hierarchy
             degree_sum += 2.0 * len(edges) / sc.n
+            if mark is not None:
+                mark("diff")
 
             if step % self.hop_sample_every == 0:
                 g = CompactGraph(np.arange(sc.n), edges)
@@ -257,8 +305,14 @@ class Simulator:
                         h_levels.setdefault(k, []).append(val)
                 giant_sum += giant_fraction(g)
                 giant_samples += 1
+                if mark is not None:
+                    mark("sampling")
+            if timings is not None:
+                timings.tick_step()
 
         elapsed = sc.steps * sc.dt
+        if timings is not None:
+            timings.wall_seconds = time.perf_counter() - t_wall
         return SimResult(
             scenario=sc,
             ledger=ledger,
@@ -275,6 +329,7 @@ class Simulator:
             trace=self.trace,
             final_positions=positions,
             queries=queries,
+            timings=timings,
         )
 
     def _sample_queries(self, hierarchy, engine, hop_fn, ledger) -> None:
@@ -318,6 +373,13 @@ class Simulator:
             trackers.setdefault(lvl.k, StateTracker()).observe(lvl.election)
 
 
-def run_scenario(scenario: Scenario, hop_sample_every: int = 25) -> SimResult:
-    """Convenience wrapper: build a simulator and run it."""
-    return Simulator(scenario, hop_sample_every=hop_sample_every).run()
+def run_scenario(scenario: Scenario, hop_sample_every: int = 25,
+                 profile: bool = False) -> SimResult:
+    """Convenience wrapper: build a simulator and run it.
+
+    ``profile=True`` attaches per-phase wall-clock timings
+    (:class:`repro.obs.StepTimings`) to ``result.timings`` — metrics stay
+    bit-identical either way.
+    """
+    return Simulator(scenario, hop_sample_every=hop_sample_every,
+                     profile=profile).run()

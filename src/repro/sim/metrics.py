@@ -106,6 +106,10 @@ class SimResult:
     queries: "object | None" = None
     """Optional :class:`~repro.faults.fallback.QueryLedger` (set when the
     scenario sampled queries via ``queries_per_step > 0``)."""
+    timings: "object | None" = None
+    """Optional :class:`~repro.obs.timers.StepTimings` with per-phase
+    wall-clock totals (set when the simulator ran with ``profile=True``;
+    observation only — all metric series are unaffected)."""
 
     # -- convenience views -------------------------------------------------------
 

@@ -165,8 +165,12 @@ class Scenario:
             raise ValueError("target degree must be positive")
         if self.dt <= 0:
             raise ValueError("dt must be positive")
-        if self.steps <= 0:
-            raise ValueError("steps must be positive")
+        if self.steps < 1:
+            raise ValueError(
+                f"steps must be >= 1, got {self.steps!r}: with zero metered "
+                "steps every per-step rate (mean_degree, phi, gamma) would "
+                "divide by zero — use warmup for unmetered mixing instead"
+            )
         if self.warmup < 0:
             raise ValueError("warmup must be non-negative")
         if self.hop_mode not in ("bfs", "euclidean", "auto"):

@@ -62,6 +62,7 @@ __all__ = [
     "SweepRun",
     "SweepError",
     "scenario_key",
+    "normalize_for_json",
     "default_cache_dir",
     "expand_grid",
     "run_sweep",
@@ -80,25 +81,49 @@ returns for a given scenario; old cache entries then miss cleanly."""
 # -- cache keys ---------------------------------------------------------------------
 
 
-def scenario_key(scenario: Scenario, hop_sample_every: int = 1000) -> str:
+def normalize_for_json(obj):
+    """Recursively coerce numpy scalars/arrays to native Python values.
+
+    ``json.dumps(default=str)`` would stringify a ``np.int64(200)`` while
+    serializing the equal ``200`` as a number — two different payloads,
+    hence two different cache keys for *equal* scenarios (an ``ns`` axis
+    built from ``np.arange`` silently missed every cached run).  All
+    hashing and manifest serialization goes through this normalizer so
+    value equality implies payload equality.
+    """
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return [normalize_for_json(x) for x in obj.tolist()]
+    if isinstance(obj, dict):
+        return {k: normalize_for_json(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [normalize_for_json(v) for v in obj]
+    return obj
+
+
+def scenario_key(scenario: Scenario, hop_sample_every: int = 1000,
+                 profile: bool = False) -> str:
     """Stable SHA-256 cache key for one (scenario, sampling-cadence) run.
 
     The key covers every scenario field (via a sorted JSON dump of the
-    dataclass), the hop-sampling cadence, and :data:`CODE_VERSION` —
-    everything that determines the resulting
+    dataclass, numpy values normalized to native types so equal
+    scenarios hash equally), the hop-sampling cadence, and
+    :data:`CODE_VERSION` — everything that determines the resulting
     :class:`~repro.sim.metrics.SimResult`.
     """
-    spec = dataclasses.asdict(scenario)
-    payload = json.dumps(
-        {
-            "scenario": spec,
-            "hop_sample_every": int(hop_sample_every),
-            "code_version": CODE_VERSION,
-        },
-        sort_keys=True,
-        default=str,
-    )
-    return hashlib.sha256(payload.encode()).hexdigest()
+    spec = normalize_for_json(dataclasses.asdict(scenario))
+    payload = {
+        "scenario": spec,
+        "hop_sample_every": int(hop_sample_every),
+        "code_version": CODE_VERSION,
+    }
+    if profile:
+        # Profiled results carry StepTimings; give them their own cache
+        # entries (added only when True so pre-existing keys still hit).
+        payload["profile"] = True
+    text = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode()).hexdigest()
 
 
 def default_cache_dir() -> Path:
@@ -172,15 +197,28 @@ class SweepProgress:
     cached: int
     scenario: Scenario
     elapsed: float
+    """Sweep-total wall seconds since the sweep started (NOT this task's
+    duration — that is :attr:`task_seconds`).  The name is historical;
+    its meaning is kept for existing callbacks."""
     from_cache: bool
+    task_seconds: float = 0.0
+    """Wall seconds this task itself took: simulation time for a run,
+    load time for a cache hit."""
+    worker: int | None = None
+    """PID of the worker process that ran the task (``None`` for cache
+    hits and in-process serial runs)."""
+    attempts: int = 1
+    """Attempts this task consumed before succeeding (>1 after retries)."""
 
 
 def print_progress(p: SweepProgress) -> None:
-    """Default progress reporter: one stderr line per completed task."""
+    """Default progress reporter: one stderr line per completed task,
+    showing both the task's own duration and the sweep-total clock."""
     tag = "cache" if p.from_cache else "run"
+    retry = f" x{p.attempts}" if p.attempts > 1 else ""
     print(
         f"  [{p.done}/{p.total}] n={p.scenario.n} seed={p.scenario.seed} "
-        f"({tag}, {p.elapsed:.1f}s elapsed)",
+        f"({tag}{retry}, {p.task_seconds:.2f}s task, {p.elapsed:.1f}s sweep)",
         file=sys.stderr,
     )
 
@@ -232,10 +270,24 @@ class SweepError(RuntimeError):
         super().__init__(f"{len(run.errors)} sweep task(s) failed: {summary}")
 
 
-def _run_task(args: tuple[Scenario, int]) -> SimResult:
+@dataclass(frozen=True)
+class _TaskOutcome:
+    """A worker's result plus its telemetry (never cached or returned:
+    :func:`run_sweep_detailed` unwraps it before storing)."""
+
+    result: SimResult
+    seconds: float
+    worker: int
+
+
+def _run_task(args: tuple[Scenario, int, bool]) -> _TaskOutcome:
     """Worker: one simulation (module-level so it pickles)."""
-    scenario, hop_sample_every = args
-    return run_scenario(scenario, hop_sample_every=hop_sample_every)
+    scenario, hop_sample_every, profile = args
+    t0 = time.perf_counter()
+    res = run_scenario(scenario, hop_sample_every=hop_sample_every,
+                       profile=profile)
+    return _TaskOutcome(result=res, seconds=time.perf_counter() - t0,
+                        worker=os.getpid())
 
 
 def _resolve_workers(workers: int | None, n_tasks: int) -> int:
@@ -334,22 +386,26 @@ def _execute(
 ) -> dict[int, tuple[str, str, int]]:
     """Attempt every payload, retrying failures with exponential backoff.
 
-    Calls ``on_result(index, result)`` as each task completes; returns
-    ``{index: (kind, message, attempts)}`` for tasks that failed every
-    attempt (bounded by ``1 + task_retries`` tries per task).
+    Calls ``on_result(index, result, attempts)`` as each task completes;
+    returns ``{index: (kind, message, attempts)}`` for tasks that failed
+    every attempt (bounded by ``1 + task_retries`` tries per task).
     """
     remaining = dict(payloads)
     attempts = {i: 0 for i in payloads}
     errors: dict[int, tuple[str, str, int]] = {}
     delay = retry_backoff
+
+    def _completed(i, res):
+        on_result(i, res, attempts[i])
+
     while remaining:
         for i in remaining:
             attempts[i] += 1
         if workers == 0:
-            failed = _serial_round(fn, remaining, on_result)
+            failed = _serial_round(fn, remaining, _completed)
         else:
             failed = _parallel_round(
-                fn, remaining, workers, task_timeout, on_result
+                fn, remaining, workers, task_timeout, _completed
             )
         retry: dict[int, object] = {}
         for i, (kind, message) in failed.items():
@@ -374,6 +430,7 @@ def run_sweep_detailed(
     task_timeout: float | None = None,
     task_retries: int = 1,
     retry_backoff: float = 0.5,
+    profile: bool = False,
 ) -> SweepRun:
     """Run every scenario fault-tolerantly; never raises on task failure.
 
@@ -403,6 +460,11 @@ def run_sweep_detailed(
         or timeout), with exponential backoff between rounds.
     retry_backoff:
         Initial inter-round backoff in seconds (doubles per round).
+    profile:
+        Run every simulation with phase timers on, attaching
+        :class:`repro.obs.StepTimings` to each result.  Metrics are
+        bit-identical; profiled runs use distinct cache entries (their
+        results carry timings, unprofiled ones don't).
 
     Returns
     -------
@@ -423,9 +485,13 @@ def run_sweep_detailed(
     results: list[SimResult | None] = [None] * len(scenarios)
     pending: list[int] = []
     done = cached = 0
+    def _key_path(sc: Scenario) -> Path:
+        return cache / f"{scenario_key(sc, hop_sample_every, profile)}.pkl"
+
     for i, sc in enumerate(scenarios):
         if cache is not None:
-            hit = _cache_load(cache / f"{scenario_key(sc, hop_sample_every)}.pkl")
+            t_load = time.perf_counter()
+            hit = _cache_load(_key_path(sc))
             if hit is not None:
                 results[i] = hit
                 done += 1
@@ -434,28 +500,30 @@ def run_sweep_detailed(
                     progress(SweepProgress(
                         done, len(scenarios), cached, sc,
                         time.perf_counter() - t0, True,
+                        task_seconds=time.perf_counter() - t_load,
                     ))
                 continue
         pending.append(i)
 
-    def _finish(i: int, res: SimResult) -> None:
+    def _finish(i: int, out: _TaskOutcome, attempts: int) -> None:
         nonlocal done
-        results[i] = res
+        results[i] = out.result
         if cache is not None:
-            _cache_store(
-                cache / f"{scenario_key(scenarios[i], hop_sample_every)}.pkl", res
-            )
+            _cache_store(_key_path(scenarios[i]), out.result)
         done += 1
         if progress is not None:
             progress(SweepProgress(
                 done, len(scenarios), cached, scenarios[i],
                 time.perf_counter() - t0, False,
+                task_seconds=out.seconds,
+                worker=out.worker if out.worker != os.getpid() else None,
+                attempts=attempts,
             ))
 
     n_workers = _resolve_workers(workers, len(pending))
     failures = _execute(
         _run_task,
-        {i: (scenarios[i], hop_sample_every) for i in pending},
+        {i: (scenarios[i], hop_sample_every, profile) for i in pending},
         workers=n_workers,
         task_timeout=task_timeout,
         task_retries=task_retries,
@@ -481,6 +549,7 @@ def run_sweep(
     task_retries: int = 1,
     retry_backoff: float = 0.5,
     on_error: str = "raise",
+    profile: bool = False,
 ) -> list[SimResult]:
     """Run every scenario; return results in input order.
 
@@ -502,6 +571,7 @@ def run_sweep(
         task_timeout=task_timeout,
         task_retries=task_retries,
         retry_backoff=retry_backoff,
+        profile=profile,
     )
     if run.errors and on_error == "raise":
         raise SweepError(run)
@@ -521,6 +591,7 @@ def cached_sweep(
     progress: Callable[[SweepProgress], None] | None = None,
     task_timeout: float | None = None,
     task_retries: int = 1,
+    profile: bool = False,
 ) -> list["SweepPoint"]:
     """Drop-in :func:`repro.analysis.scaling.sweep` on the sweep runner.
 
@@ -537,6 +608,11 @@ def cached_sweep(
     if not metrics:
         raise ValueError("need at least one metric")
     seeds = list(seeds)
+    # Materialize the size axis exactly once.  expand_grid supports
+    # ns=None (seed axis only) and any iterable; iterating ``ns`` again
+    # below would crash on None and silently yield zero points for a
+    # generator already consumed by expand_grid.
+    ns = [base.n] if ns is None else [int(n) for n in ns]
     scenarios = expand_grid(base, ns, seeds, scenario_for)
     results = run_sweep(
         scenarios,
@@ -546,6 +622,7 @@ def cached_sweep(
         progress=progress,
         task_timeout=task_timeout,
         task_retries=task_retries,
+        profile=profile,
     )
     points = []
     per_n = len(seeds)
@@ -591,7 +668,7 @@ def parallel_map(
     items = list(items)
     results: list = [None] * len(items)
 
-    def _finish(i: int, res) -> None:
+    def _finish(i: int, res, attempts: int) -> None:
         results[i] = res
 
     failures = _execute(

@@ -78,3 +78,18 @@ class EventTrace:
         if self.dropped:
             lines.append(f"... ({self.dropped} events dropped at capacity)")
         return lines
+
+    def to_jsonl(self, path_or_file) -> int:
+        """Write the trace as JSON Lines (header record + one record per
+        event) to a path or open text file; returns the record count.
+        See :mod:`repro.obs.export` for the schema and the reader."""
+        from repro.obs.export import trace_records, write_jsonl
+
+        return write_jsonl(path_or_file, trace_records(self))
+
+    @classmethod
+    def from_jsonl(cls, path_or_file) -> "EventTrace":
+        """Rebuild a trace written by :meth:`to_jsonl`."""
+        from repro.obs.export import read_jsonl, trace_from_records
+
+        return trace_from_records(read_jsonl(path_or_file))

@@ -1,0 +1,74 @@
+"""Telemetry must be pure observation.
+
+The acceptance bar mirrors ``tests/sim/test_lossy_equivalence.py``:
+with phase timers (and trace + JSONL export) enabled, every metered
+series in the SimResult must be bit-identical to an uninstrumented run
+of the same scenario — profiling may only *watch* the pipeline, never
+consume an RNG draw or reorder a phase.
+"""
+
+from repro.obs import PHASES
+from repro.sim import Scenario, Simulator, run_scenario
+
+SC = Scenario(n=80, steps=8, warmup=2, speed=1.5, seed=3,
+              max_levels=3, hop_mode="euclidean")
+
+LOSSY = Scenario(n=80, steps=8, warmup=2, speed=1.5, seed=3,
+                 max_levels=3, hop_mode="euclidean",
+                 loss_rate=0.08, retry_attempts=3, queries_per_step=3)
+
+
+def _fingerprint(res):
+    """Every metered series of a SimResult, for bit-identity checks."""
+    return (
+        res.phi, res.gamma, res.f0, res.handoff_rate, res.mean_degree,
+        res.giant_fraction, res.elapsed,
+        dict(res.level_series.link_events),
+        dict(res.level_series.drift_link_events),
+        dict(res.level_series.address_changes),
+        res.h_network, res.h_levels,
+        res.ledger.phi_k(), res.ledger.gamma_k(), res.ledger.f_k(),
+        res.ledger.retransmitted_packets, res.ledger.abandoned_entries,
+    )
+
+
+class TestBitIdentity:
+    def test_profiled_run_matches_plain_run(self):
+        plain = run_scenario(SC, hop_sample_every=4)
+        profiled = run_scenario(SC, hop_sample_every=4, profile=True)
+        assert _fingerprint(plain) == _fingerprint(profiled)
+        assert plain.timings is None
+        assert profiled.timings is not None
+
+    def test_profiled_lossy_run_matches_plain_run(self):
+        """The fault path draws from RNG streams every step; profiling
+        must not perturb a single draw."""
+        plain = run_scenario(LOSSY, hop_sample_every=4)
+        profiled = run_scenario(LOSSY, hop_sample_every=4, profile=True)
+        assert _fingerprint(plain) == _fingerprint(profiled)
+        assert plain.queries.success_series == profiled.queries.success_series
+
+    def test_profile_plus_trace_matches_plain_run(self):
+        plain = Simulator(SC, hop_sample_every=4).run()
+        instrumented = Simulator(SC, hop_sample_every=4, trace=True,
+                                 profile=True).run()
+        assert _fingerprint(plain) == _fingerprint(instrumented)
+        assert instrumented.trace is not None
+
+
+class TestTimingsContent:
+    def test_every_pipeline_phase_metered(self):
+        res = run_scenario(SC, hop_sample_every=4, profile=True)
+        assert set(res.timings.totals) == set(PHASES)
+        assert all(v >= 0 for v in res.timings.totals.values())
+        assert res.timings.steps == SC.steps
+        assert res.timings.wall_seconds >= res.timings.phase_seconds
+
+    def test_sampling_phase_respects_cadence(self):
+        """With a cadence wider than the run, sampling is metered only
+        once (step 0)."""
+        res = run_scenario(SC, hop_sample_every=1000, profile=True)
+        assert "sampling" in res.timings.totals
+
+    def test_unprofiled_run_carries_no_timings(self):
+        assert run_scenario(SC, hop_sample_every=4).timings is None

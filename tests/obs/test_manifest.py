@@ -1,0 +1,125 @@
+"""Manifest and JSONL round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    RunManifest,
+    read_jsonl,
+    result_counters,
+    trace_from_records,
+    trace_records,
+    write_jsonl,
+)
+from repro.sim import Scenario, Simulator, run_scenario, scenario_key
+from repro.sim.sweep import CODE_VERSION
+
+SC = Scenario(n=60, steps=5, warmup=1, speed=1.5, seed=2,
+              max_levels=2, hop_mode="euclidean")
+
+
+@pytest.fixture(scope="module")
+def profiled_result():
+    return run_scenario(SC, hop_sample_every=4, profile=True)
+
+
+class TestRunManifest:
+    def test_from_result_provenance(self, profiled_result):
+        man = RunManifest.from_result(profiled_result, hop_sample_every=4)
+        assert man.scenario_key == scenario_key(SC, 4)
+        assert man.code_version == CODE_VERSION
+        assert man.scenario["n"] == 60
+        assert man.platform["python"]
+        assert man.platform["numpy"] == np.__version__
+
+    def test_from_result_cost_and_metrics(self, profiled_result):
+        man = RunManifest.from_result(profiled_result, hop_sample_every=4)
+        assert man.wall_seconds > 0
+        assert man.phases == profiled_result.timings.totals
+        assert man.metrics["phi"] == profiled_result.phi
+        assert man.metrics["elapsed_sim_seconds"] == profiled_result.elapsed
+
+    def test_unprofiled_result_gives_empty_cost(self):
+        res = run_scenario(SC, hop_sample_every=4)
+        man = RunManifest.from_result(res, hop_sample_every=4)
+        assert man.wall_seconds == 0.0
+        assert man.phases == {}
+
+    def test_json_round_trip(self, profiled_result):
+        man = RunManifest.from_result(profiled_result, hop_sample_every=4)
+        assert RunManifest.from_json(man.to_json()) == man
+
+    def test_file_round_trip(self, profiled_result, tmp_path):
+        man = RunManifest.from_result(profiled_result, hop_sample_every=4)
+        path = man.write(tmp_path / "nested" / "run.json")
+        assert RunManifest.read(path) == man
+
+    def test_rejects_unknown_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            RunManifest.from_dict({"schema": "repro.manifest/v999",
+                                   "scenario_key": "x", "code_version": "1"})
+
+
+class TestJsonl:
+    def test_write_read_round_trip(self, tmp_path):
+        records = [{"a": 1}, {"b": [1.5, "x"]}, {"c": {"d": None}}]
+        path = tmp_path / "out.jsonl"
+        assert write_jsonl(path, records) == 3
+        assert read_jsonl(path) == records
+
+    def test_numpy_values_coerced(self, tmp_path):
+        path = tmp_path / "np.jsonl"
+        write_jsonl(path, [{"n": np.int64(7), "x": np.float64(1.5)}])
+        assert read_jsonl(path) == [{"n": 7, "x": 1.5}]
+
+    def test_manifest_stream(self, profiled_result, tmp_path):
+        man = RunManifest.from_result(profiled_result, hop_sample_every=4)
+        path = tmp_path / "runs.jsonl"
+        write_jsonl(path, [man.to_dict(), man.to_dict()])
+        back = [RunManifest.from_dict(d) for d in read_jsonl(path)]
+        assert back == [man, man]
+
+    def test_result_counters_record(self, profiled_result):
+        rec = result_counters(profiled_result)
+        assert rec["n"] == 60 and rec["seed"] == 2
+        assert rec["phi"] == profiled_result.phi
+        assert rec["wall_seconds"] > 0
+        assert set(rec["phases"]) == set(profiled_result.timings.totals)
+
+
+class TestTraceRoundTrip:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        res = Simulator(SC, hop_sample_every=4, trace=True).run()
+        assert len(res.trace) > 0
+        return res.trace
+
+    def test_records_round_trip(self, trace):
+        again = trace_from_records(trace_records(trace))
+        assert again.events == trace.events
+        assert again.capacity == trace.capacity
+        assert again.dropped == trace.dropped
+
+    def test_jsonl_file_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        count = trace.to_jsonl(path)
+        assert count == len(trace.events) + 1  # header record
+        again = type(trace).from_jsonl(path)
+        assert again.summary() == trace.summary()
+        assert [e.t for e in again] == [e.t for e in trace]
+
+    def test_open_file_handles(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with path.open("w") as fh:
+            trace.to_jsonl(fh)
+        with path.open() as fh:
+            again = type(trace).from_jsonl(fh)
+        assert again.events == trace.events
+
+    def test_reader_rejects_headerless_stream(self, tmp_path):
+        from repro.sim.trace import EventTrace
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 1.0, "kind": "x", "payload": {}}\n')
+        with pytest.raises(ValueError, match="header"):
+            EventTrace.from_jsonl(path)

@@ -1,0 +1,117 @@
+"""SweepReport aggregation tests (synthetic events + a real sweep)."""
+
+import pytest
+
+from repro.obs import SweepReport
+from repro.sim import (
+    Scenario,
+    SweepProgress,
+    TaskError,
+    expand_grid,
+    run_sweep_detailed,
+)
+
+BASE = Scenario(n=60, steps=4, warmup=1, speed=1.5, hop_mode="euclidean",
+                max_levels=2)
+
+
+def _event(done, total, *, cached=0, from_cache=False, elapsed=1.0,
+           task_seconds=0.5, worker=None, attempts=1):
+    return SweepProgress(
+        done=done, total=total, cached=cached, scenario=BASE,
+        elapsed=elapsed, from_cache=from_cache, task_seconds=task_seconds,
+        worker=worker, attempts=attempts,
+    )
+
+
+class TestSyntheticAggregation:
+    def test_throughput_and_eta(self):
+        rep = SweepReport()
+        rep.record(_event(1, 4, elapsed=30.0, task_seconds=30.0))
+        rep.record(_event(2, 4, elapsed=60.0, task_seconds=30.0))
+        assert rep.throughput_per_min == pytest.approx(2.0)
+        assert rep.mean_task_seconds == pytest.approx(30.0)
+        # 2 tasks remain at 30 s mean on one lane.
+        assert rep.eta_seconds == pytest.approx(60.0)
+        rep.record(_event(3, 4))
+        rep.record(_event(4, 4))
+        assert rep.eta_seconds == 0.0
+
+    def test_eta_divides_across_workers(self):
+        rep = SweepReport()
+        rep.record(_event(1, 5, task_seconds=10.0, worker=101))
+        rep.record(_event(2, 5, task_seconds=10.0, worker=102))
+        assert len(rep.workers_seen) == 2
+        assert rep.eta_seconds == pytest.approx(3 * 10.0 / 2)
+
+    def test_cache_hits_excluded_from_task_stats(self):
+        rep = SweepReport()
+        rep.record(_event(1, 2, cached=1, from_cache=True, task_seconds=0.001))
+        rep.record(_event(2, 2, cached=1, task_seconds=8.0))
+        assert rep.cache_hit_rate == pytest.approx(0.5)
+        assert rep.task_seconds == [8.0]
+
+    def test_retries_and_errors_counted(self):
+        rep = SweepReport()
+        rep.record(_event(1, 3, attempts=3))
+
+        class _Run:
+            results = [object(), None, None]
+            errors = [
+                TaskError(index=1, kind="timeout", message="m", attempts=2),
+                TaskError(index=2, kind="crash", message="m", attempts=2),
+            ]
+
+        rep.finish(_Run())
+        assert rep.retries == 2
+        assert rep.error_counts() == {"crash": 1, "timeout": 1}
+        assert rep.failed_attempts == 4
+        assert "timeout=1" in rep.render()
+
+    def test_callable_as_progress_callback(self):
+        rep = SweepReport()
+        rep(_event(1, 1))
+        assert rep.done == rep.total == 1
+
+
+class TestRealSweep:
+    @pytest.fixture(scope="class")
+    def report(self):
+        rep = SweepReport()
+        run = run_sweep_detailed(
+            expand_grid(BASE, [60, 90], seeds=(0, 1)),
+            hop_sample_every=4, profile=True, progress=rep,
+        )
+        rep.finish(run)
+        return rep
+
+    def test_counts(self, report):
+        assert report.done == report.total == 4
+        assert report.cached == 0
+        assert len(report.task_seconds) == 4
+        assert report.errors == []
+
+    def test_per_n_phase_breakdown(self, report):
+        phases = report.per_n_phases()
+        assert sorted(phases) == [60, 90]
+        for d in phases.values():
+            assert {"mobility", "rebuild", "hierarchy", "handoff",
+                    "diff", "sampling"} <= set(d)
+            assert all(v >= 0 for v in d.values())
+
+    def test_render_mentions_phases_and_rates(self, report):
+        text = report.render()
+        assert "4/4 done" in text
+        assert "tasks/min" in text
+        assert "phase mean ms/step" in text
+        assert "hierarchy" in text
+
+    def test_unprofiled_results_skipped(self):
+        rep = SweepReport()
+        run = run_sweep_detailed(
+            expand_grid(BASE, [60], seeds=(0,)), hop_sample_every=4,
+            progress=rep,
+        )
+        rep.finish(run)
+        assert rep.per_n_phases() == {}
+        assert "phase mean" not in rep.render()

@@ -71,6 +71,14 @@ class TestValidation:
         with pytest.raises(ValueError, match=r"loss_rate.*\[0, 1\)"):
             Scenario(loss_rate=1.2)
 
+    @pytest.mark.parametrize("steps", [0, -3])
+    def test_zero_steps_rejected_with_actionable_message(self, steps):
+        """Pinned behavior: a steps<1 scenario is rejected up front (the
+        engine divides by ``steps`` for every per-step rate), and the
+        message points at ``warmup`` for unmetered mixing."""
+        with pytest.raises(ValueError, match=r"steps must be >= 1.*warmup"):
+            Scenario(steps=steps)
+
     def test_faults_enabled_gate(self):
         assert not Scenario().faults_enabled
         assert not Scenario(retry_attempts=5).faults_enabled

@@ -156,9 +156,65 @@ class TestCache:
         assert not list(tmp_path.rglob("*.pkl"))
 
 
+class TestCachedSweepShapes:
+    """Regressions: ``expand_grid`` accepts ns=None and any iterable, so
+    ``cached_sweep`` must too (it used to crash on None and return zero
+    points for a generator consumed during grid expansion)."""
+
+    METRICS = {"total": lambda r: r.handoff_rate}
+
+    def test_ns_none_falls_back_to_base_size(self):
+        points = cached_sweep(None, BASE, self.METRICS, seeds=(0, 1))
+        assert [p.n for p in points] == [BASE.n]
+        assert points[0].seeds == 2
+        explicit = cached_sweep([BASE.n], BASE, self.METRICS, seeds=(0, 1))
+        assert points[0].values == explicit[0].values
+
+    def test_generator_ns_yields_every_point(self):
+        lazy = cached_sweep((n for n in [60, 90]), BASE, self.METRICS,
+                            seeds=(0,))
+        eager = cached_sweep([60, 90], BASE, self.METRICS, seeds=(0,))
+        assert [p.n for p in lazy] == [60, 90]
+        assert [(p.n, p.values) for p in lazy] == \
+            [(p.n, p.values) for p in eager]
+
+    def test_numpy_ns_axis(self):
+        points = cached_sweep(np.array([60, 90]), BASE, self.METRICS,
+                              seeds=(0,))
+        assert [p.n for p in points] == [60, 90]
+        assert all(type(p.n) is int for p in points)
+
+
 class TestScenarioKey:
     def test_stable(self):
         assert scenario_key(BASE, 4) == scenario_key(replace(BASE), 4)
+
+    def test_numpy_fields_hash_like_native(self):
+        """Regression: a scenario built from an ``np.arange`` size axis
+        (``n=np.int64(...)``) must hit the cache entries written by the
+        equal native-int scenario — ``default=str`` used to serialize
+        the two differently."""
+        native = replace(BASE, n=60, speed=1.5, seed=0)
+        numpied = replace(BASE, n=np.int64(60), speed=np.float64(1.5),
+                          seed=np.int64(0))
+        assert scenario_key(numpied, 4) == scenario_key(native, 4)
+
+    def test_numpy_key_hits_native_cache(self, tmp_path):
+        """End to end: results cached under native-int keys replay for
+        the numpy-typed equal grid (no silent re-simulation)."""
+        native = expand_grid(BASE, [60], seeds=(0,))
+        run_sweep(native, hop_sample_every=4, cache_dir=tmp_path)
+        events = []
+        numpied = [replace(BASE, n=np.int64(60), seed=np.int64(0))]
+        run_sweep(numpied, hop_sample_every=4, cache_dir=tmp_path,
+                  progress=events.append)
+        assert [e.from_cache for e in events] == [True]
+
+    def test_profile_gets_its_own_key(self):
+        assert scenario_key(BASE, 4, profile=True) != scenario_key(BASE, 4)
+        # profile=False keeps the historical payload, so existing caches
+        # still hit.
+        assert scenario_key(BASE, 4, profile=False) == scenario_key(BASE, 4)
 
     def test_every_field_matters(self):
         baseline = scenario_key(BASE, 4)
@@ -187,6 +243,79 @@ class TestParallelMap:
 
     def test_empty(self):
         assert parallel_map(_double, [], workers=4) == []
+
+
+class TestProgressTelemetry:
+    def test_task_seconds_is_per_task_not_sweep_total(self):
+        grid = expand_grid(BASE, [60], seeds=(0, 1, 2))
+        events = []
+        run_sweep(grid, hop_sample_every=4, progress=events.append)
+        assert len(events) == 3
+        # Sweep elapsed is monotone; per-task durations are not cumulative.
+        assert [e.elapsed for e in events] == sorted(e.elapsed for e in events)
+        assert sum(e.task_seconds for e in events) <= events[-1].elapsed + 0.1
+        for e in events:
+            assert 0 < e.task_seconds <= e.elapsed + 1e-9
+            assert e.attempts == 1
+
+    def test_parallel_events_carry_worker_pids(self):
+        import os
+
+        grid = expand_grid(BASE, [60, 90], seeds=(0, 1))
+        events = []
+        run_sweep(grid, hop_sample_every=4, workers=2,
+                  progress=events.append)
+        workers = {e.worker for e in events}
+        assert None not in workers
+        assert os.getpid() not in workers
+
+    def test_cache_hits_report_load_time(self, tmp_path):
+        grid = expand_grid(BASE, [60], seeds=(0,))
+        run_sweep(grid, hop_sample_every=4, cache_dir=tmp_path)
+        events = []
+        run_sweep(grid, hop_sample_every=4, cache_dir=tmp_path,
+                  progress=events.append)
+        assert events[0].from_cache
+        assert events[0].worker is None
+        assert 0 <= events[0].task_seconds < 5.0
+
+    def test_print_progress_reports_both_clocks(self, capsys):
+        from repro.sim import SweepProgress, print_progress
+
+        print_progress(SweepProgress(
+            done=1, total=2, cached=0, scenario=BASE, elapsed=12.5,
+            from_cache=False, task_seconds=3.25, worker=123, attempts=2,
+        ))
+        err = capsys.readouterr().err
+        assert "3.25s task" in err
+        assert "12.5s sweep" in err
+        assert "x2" in err  # retried task is visible
+
+
+class TestProfiledSweep:
+    def test_profile_attaches_timings_and_keeps_metrics(self):
+        grid = expand_grid(BASE, [60], seeds=(0,))
+        plain = run_sweep(grid, hop_sample_every=4)
+        profiled = run_sweep(grid, hop_sample_every=4, profile=True)
+        assert _fingerprint(plain[0]) == _fingerprint(profiled[0])
+        assert plain[0].timings is None
+        assert profiled[0].timings.steps == BASE.steps
+
+    def test_profiled_cache_entry_round_trips_timings(self, tmp_path):
+        grid = expand_grid(BASE, [60], seeds=(0,))
+        first = run_sweep(grid, hop_sample_every=4, cache_dir=tmp_path,
+                          profile=True)
+        events = []
+        again = run_sweep(grid, hop_sample_every=4, cache_dir=tmp_path,
+                          profile=True, progress=events.append)
+        assert [e.from_cache for e in events] == [True]
+        assert again[0].timings.totals == first[0].timings.totals
+
+    def test_profiled_and_plain_caches_are_disjoint(self, tmp_path):
+        grid = expand_grid(BASE, [60], seeds=(0,))
+        run_sweep(grid, hop_sample_every=4, cache_dir=tmp_path)
+        run_sweep(grid, hop_sample_every=4, cache_dir=tmp_path, profile=True)
+        assert len(list(tmp_path.glob("*.pkl"))) == 2
 
 
 class TestRunSweepBasics:

@@ -101,6 +101,75 @@ class TestSweepCommand:
         assert "at least one size" in capsys.readouterr().err
 
 
+class TestProfileCommand:
+    def test_profile_prints_breakdown_and_stats(self, tmp_path, capsys):
+        assert main(["profile", "--ns", "60,90", "--seeds", "0", "--steps",
+                     "4", "--warmup", "1", "--cache-dir", str(tmp_path),
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert "tasks/min" in out
+        assert "phase mean ms/step" in out
+        for phase in ("mobility", "rebuild", "hierarchy", "handoff",
+                      "sampling"):
+            assert phase in out
+
+    def test_profile_second_run_hits_cache(self, tmp_path, capsys):
+        args = ["profile", "--ns", "60", "--seeds", "0", "--steps", "4",
+                "--warmup", "1", "--cache-dir", str(tmp_path), "--quiet"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "1 cached, 100% hit rate" in out
+        # Cached profiled results still carry timings for the breakdown.
+        assert "phase mean ms/step" in out
+
+    def test_profile_writes_manifests(self, tmp_path, capsys):
+        path = tmp_path / "runs.jsonl"
+        assert main(["profile", "--ns", "60", "--seeds", "0,1", "--steps",
+                     "4", "--warmup", "1", "--no-cache", "--quiet",
+                     "--manifest", str(path)]) == 0
+        assert "2 manifests written" in capsys.readouterr().out
+        from repro.obs import RunManifest, read_jsonl
+
+        manifests = [RunManifest.from_dict(d) for d in read_jsonl(path)]
+        assert len(manifests) == 2
+        assert all(m.phases for m in manifests)
+        assert {m.scenario["seed"] for m in manifests} == {0, 1}
+
+    def test_profile_rejects_empty_grid(self, capsys):
+        assert main(["profile", "--ns", "", "--seeds", "0"]) == 2
+        assert "at least one size" in capsys.readouterr().err
+
+    def test_simulate_profile_flag(self, capsys):
+        assert main([
+            "simulate", "--n", "60", "--steps", "5", "--warmup", "1",
+            "--seed", "3", "--hops", "euclidean", "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        assert "per step" in out
+
+    def test_simulate_manifest_and_trace_jsonl(self, tmp_path, capsys):
+        man = tmp_path / "run.json"
+        trc = tmp_path / "trace.jsonl"
+        assert main([
+            "simulate", "--n", "60", "--steps", "5", "--warmup", "1",
+            "--seed", "3", "--hops", "euclidean", "--trace", "--profile",
+            "--manifest", str(man), "--trace-jsonl", str(trc),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "manifest written" in out
+        from repro.obs import RunManifest
+        from repro.sim import EventTrace
+
+        loaded = RunManifest.read(man)
+        assert loaded.scenario["n"] == 60
+        assert loaded.wall_seconds > 0
+        assert len(EventTrace.from_jsonl(trc)) >= 0
+
+
 class TestReportCommand:
     def test_report_stdout(self, capsys):
         assert main(["report", "--experiments", "EXP-F1", "--seeds", "0"]) == 0
