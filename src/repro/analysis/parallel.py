@@ -27,7 +27,7 @@ from repro.sim.scenario import Scenario
 __all__ = ["parallel_sweep", "run_one"]
 
 
-def run_one(args: tuple[Scenario, int, int]) -> SimResult:
+def run_one(args: tuple[Scenario, int | None, int]) -> SimResult:
     """Worker: run one (scenario, n, seed) combination."""
     scenario, hop_sample_every, seed = args
     return run_scenario(
@@ -41,7 +41,7 @@ def parallel_sweep(
     metrics: dict[str, Callable[[SimResult], float]],
     seeds=(0, 1),
     scenario_for: Callable[[Scenario, int], Scenario] | None = None,
-    hop_sample_every: int = 1000,
+    hop_sample_every: int | None = None,
     max_workers: int | None = None,
 ) -> list[SweepPoint]:
     """Parallel counterpart of :func:`repro.analysis.scaling.sweep`.

@@ -39,7 +39,7 @@ def sweep(
     metrics: dict[str, Callable[[SimResult], float]],
     seeds=(0, 1),
     scenario_for: Callable[[Scenario, int], Scenario] | None = None,
-    hop_sample_every: int = 1000,
+    hop_sample_every: int | None = None,
     keep_results: bool = False,
 ) -> list[SweepPoint]:
     """Run the scenario across node counts and seeds.

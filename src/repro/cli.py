@@ -5,6 +5,8 @@
     python -m repro list
     python -m repro experiment EXP-T4 [--full] [--seeds 0,1]
     python -m repro simulate --n 300 --steps 60 --speed 1.5 [--trace]
+    python -m repro simulate --n 300 --checkpoint run.ckpt --checkpoint-every 20
+    python -m repro resume run.ckpt
     python -m repro sweep --ns 200,400,800 --seeds 0,1,2 --workers 4
     python -m repro profile --ns 200,400 --seeds 0,1 [--manifest runs.jsonl]
     python -m repro hierarchy --n 120 [--seed 7]
@@ -77,6 +79,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a run manifest (JSON) to this path")
     p_sim.add_argument("--trace-jsonl", default=None, metavar="PATH",
                        help="with --trace: also write the full trace as JSONL")
+    p_sim.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="write periodic checkpoints to this path "
+                            "(resume later with 'repro resume PATH')")
+    p_sim.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N",
+                       help="checkpoint cadence in steps (default 25; "
+                            "requires --checkpoint)")
+
+    p_res = sub.add_parser(
+        "resume", help="resume an interrupted simulate run from a checkpoint")
+    p_res.add_argument("checkpoint", metavar="CHECKPOINT",
+                       help="checkpoint file written by simulate --checkpoint")
+    p_res.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N",
+                       help="keep checkpointing to the same file every N steps "
+                            "while finishing the run")
+    p_res.add_argument("--keep-checkpoint", action="store_true",
+                       help="leave the checkpoint file in place after the run "
+                            "completes (default: delete it)")
 
     p_rep = sub.add_parser("report", help="run experiments, emit a markdown report")
     p_rep.add_argument("--out", default=None, help="write the report to this file")
@@ -117,6 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--cache-dir", default=None,
                       help="result cache directory "
                            "(default: ~/.cache/repro/sweeps)")
+    p_sw.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                      help="write per-task checkpoints here so crashed or "
+                           "timed-out tasks resume instead of restarting")
+    p_sw.add_argument("--checkpoint-every", type=int, default=None,
+                      metavar="N",
+                      help="per-task checkpoint cadence in steps "
+                           "(default 25; requires --checkpoint-dir)")
     p_sw.add_argument("--no-cache", action="store_true",
                       help="always re-simulate, never touch the cache")
     p_sw.add_argument("--json", default=None, metavar="PATH",
@@ -246,8 +274,35 @@ def _cmd_simulate(args) -> int:
         sc = make_scenario(args.preset, **kwargs)
     else:
         sc = Scenario(**kwargs)
+    if args.checkpoint_every is not None and not args.checkpoint:
+        print("--checkpoint-every requires --checkpoint", file=sys.stderr)
+        return 2
     sim = Simulator(sc, trace=args.trace, profile=args.profile)
-    res = sim.run()
+    res = sim.run(checkpoint_every=args.checkpoint_every,
+                  checkpoint_path=args.checkpoint)
+    _print_run(res, show_trace=args.trace, trace_jsonl=args.trace_jsonl,
+               show_profile=args.profile)
+    if args.checkpoint:
+        # The run finished, so the crash-protection checkpoint is stale;
+        # an interrupted run leaves it behind for 'repro resume'.
+        import os
+
+        try:
+            os.remove(args.checkpoint)
+        except OSError:
+            pass
+    if args.manifest:
+        from repro.obs import RunManifest
+
+        path = RunManifest.from_result(res).write(args.manifest)
+        print(f"manifest written to {path}")
+    return 0
+
+
+def _print_run(res, show_trace=False, trace_jsonl=None, show_profile=False):
+    """Print the standard per-run metric block (simulate and resume)."""
+    sc = res.scenario
+    levels = "auto" if sc.max_levels is None else sc.max_levels
     print(f"n={sc.n}  L<={levels}  mu={sc.speed} m/s  "
           f"{sc.duration:.0f} s metered  (seed {sc.seed})")
     print(f"  f_0          = {res.f0:.3f} link events/node/s")
@@ -267,25 +322,48 @@ def _cmd_simulate(args) -> int:
         print(f"  mean recovery  = {res.ledger.mean_recovery_time:.2f} s "
               f"({res.ledger.recovered_entries} recovered, "
               f"{res.ledger.abandoned_entries} abandoned)")
-    if args.trace and res.trace is not None:
+    if show_trace and res.trace is not None:
         print("\nevent trace (last 20):")
         for line in res.trace.to_lines(limit=20):
             print(" ", line)
         print(f"  summary: {res.trace.summary()}")
-        if args.trace_jsonl:
-            count = res.trace.to_jsonl(args.trace_jsonl)
-            print(f"  trace written to {args.trace_jsonl} ({count} records)")
-    if args.profile and res.timings is not None:
+        if trace_jsonl:
+            count = res.trace.to_jsonl(trace_jsonl)
+            print(f"  trace written to {trace_jsonl} ({count} records)")
+    if show_profile and res.timings is not None:
         print(f"\nphase breakdown (wall {res.timings.wall_seconds:.2f} s):")
         for line in res.timings.to_lines():
             print(" ", line)
-    if args.manifest:
-        from repro.obs import RunManifest
 
-        path = RunManifest.from_result(res, hop_sample_every=25).write(
-            args.manifest
-        )
-        print(f"manifest written to {path}")
+
+def _cmd_resume(args) -> int:
+    import os
+
+    from repro.sim import Simulator
+
+    if not os.path.exists(args.checkpoint):
+        print(f"no such checkpoint: {args.checkpoint}", file=sys.stderr)
+        return 2
+    try:
+        sim = Simulator.restore(args.checkpoint)
+    except (ValueError, OSError) as exc:
+        print(f"cannot resume from {args.checkpoint}: {exc}", file=sys.stderr)
+        return 2
+    sc = sim.sc
+    print(f"resuming at step {sim.next_step}/{sc.steps} "
+          f"from {args.checkpoint}")
+    if args.checkpoint_every is not None:
+        res = sim.run(checkpoint_every=args.checkpoint_every,
+                      checkpoint_path=args.checkpoint)
+    else:
+        res = sim.run()
+    _print_run(res, show_trace=res.trace is not None,
+               show_profile=res.timings is not None)
+    if not args.keep_checkpoint:
+        try:
+            os.remove(args.checkpoint)
+        except OSError:
+            pass
     return 0
 
 
@@ -316,12 +394,17 @@ def _cmd_sweep(args) -> int:
         metrics["abandon"] = lambda r: r.ledger.abandonment_rate
     from dataclasses import replace
 
+    if args.checkpoint_every is not None and not args.checkpoint_dir:
+        print("--checkpoint-every requires --checkpoint-dir", file=sys.stderr)
+        return 2
     points = cached_sweep(
         ns, base, metrics, seeds=seeds,
         scenario_for=lambda sc, n: replace(sc, max_levels=levels_for(n)),
         workers=args.workers, cache_dir=cache_dir,
         progress=None if args.quiet else print_progress,
         task_timeout=args.task_timeout, task_retries=args.task_retries,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
     )
     header = (f"{'n':>6} {'L':>3} {'phi':>8} {'gamma':>8} {'total':>8} "
               f"{'total/log^2n':>13}")
@@ -450,6 +533,8 @@ def main(argv=None) -> int:
         return _cmd_experiment(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "profile":

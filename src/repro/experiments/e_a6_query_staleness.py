@@ -19,6 +19,12 @@ Grades per query:
 The paper's locality story predicts high routability: addresses change
 mostly at the bottom, and a one-step lag rarely invalidates upper
 components.
+
+The measurement rides the standard simulator as a custom
+:class:`~repro.sim.collectors.Collector` (:class:`StalenessCollector`):
+each :class:`~repro.sim.snapshot.StepSnapshot` carries the current
+hierarchy, server assignment, and hop oracle, and the collector holds
+the previous snapshot's pair as the "lagging database".
 """
 
 from __future__ import annotations
@@ -26,65 +32,78 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis import levels_for
-from repro.core import HandoffEngine, resolve
+from repro.core import resolve
 from repro.experiments.common import ExperimentResult
-from repro.geometry import disc_for_density
-from repro.hierarchy import build_hierarchy
-from repro.mobility import RandomWaypoint
-from repro.radio import radius_for_degree, unit_disk_edges
-from repro.sim.hops import EuclideanHops
+from repro.sim import Scenario, Simulator
+from repro.sim.collectors import Collector
 
-__all__ = ["run"]
+__all__ = ["run", "StalenessCollector"]
 
 
-def _one_run(n: int, speed: float, steps: int, seed: int) -> dict[str, float]:
-    density = 0.02
-    degree = 9.0
-    r_tx = radius_for_degree(degree, density)
-    region = disc_for_density(n, density)
-    rng = np.random.default_rng(seed)
-    model = RandomWaypoint(n, region, speed, rng)
-    L = levels_for(n)
+class StalenessCollector(Collector):
+    """Grade queries resolved against a one-step-stale LM database.
 
-    def build(pts):
-        edges = unit_disk_edges(pts, r_tx)
-        return build_hierarchy(np.arange(n), edges, max_levels=L,
-                               level_mode="radio", positions=pts, r0=r_tx)
+    At each step, ``queries_per_step`` source/destination pairs are
+    resolved against the hierarchy and assignment captured from the
+    *previous* snapshot, and the answer is graded against the target's
+    address in the *current* snapshot (exact / routable / stale /
+    unresolved — see the module docstring).
+    """
 
-    for _ in range(10):
-        model.step(1.0)
-    engine = HandoffEngine()
-    pts = model.positions.copy()
-    h_prev = build(pts)
-    engine.observe(h_prev, EuclideanHops(pts, r_tx))
-    a_prev = engine.assignment
+    name = "staleness"
 
-    counts = {"exact": 0, "routable": 0, "stale": 0, "unresolved": 0}
-    total = 0
-    for _ in range(steps):
-        model.step(1.0)
-        pts = model.positions.copy()
-        h_now = build(pts)
-        hop = EuclideanHops(pts, r_tx)
-        for _ in range(20):
-            s, d = (int(x) for x in rng.integers(0, n, size=2))
+    def __init__(self, rng: np.random.Generator, queries_per_step: int = 20):
+        self._rng = rng
+        self._per_step = int(queries_per_step)
+        self._prev = None  # (hierarchy, assignment) one step behind
+        self.counts = {"exact": 0, "routable": 0, "stale": 0, "unresolved": 0}
+        self.total = 0
+
+    def on_start(self, snap) -> None:
+        """Seed the lagging database with the warmup-end state."""
+        self._prev = (snap.hierarchy, snap.assignment)
+
+    def on_step(self, snap) -> None:
+        """Resolve stale, grade against current, then advance the lag."""
+        h_prev, a_prev = self._prev
+        h_now = snap.hierarchy
+        n = snap.scenario.n
+        for _ in range(self._per_step):
+            s, d = (int(x) for x in self._rng.integers(0, n, size=2))
             if s == d:
                 continue
-            q = resolve(h_prev, a_prev, s, d, hop)
-            total += 1
+            q = resolve(h_prev, a_prev, s, d, snap.hop_fn)
+            self.total += 1
             if q.hit_level < 0 or q.address is None:
-                counts["unresolved"] += 1
+                self.counts["unresolved"] += 1
                 continue
             current = h_now.address(d)
             if q.address == current:
-                counts["exact"] += 1
+                self.counts["exact"] += 1
             elif q.address[-2] == current[-2]:  # level-1 component holds
-                counts["routable"] += 1
+                self.counts["routable"] += 1
             else:
-                counts["stale"] += 1
-        engine.observe(h_now, hop)
-        h_prev, a_prev = h_now, engine.assignment
-    return {k: v / max(total, 1) for k, v in counts.items()}
+                self.counts["stale"] += 1
+        self._prev = (h_now, snap.assignment)
+
+    def finalize(self, elapsed: float) -> dict:
+        """Return grade fractions under ``extras['staleness']``."""
+        return {
+            "staleness": {
+                k: v / max(self.total, 1) for k, v in self.counts.items()
+            }
+        }
+
+
+def _one_run(n: int, speed: float, steps: int, seed: int) -> dict[str, float]:
+    sc = Scenario(
+        n=n, steps=steps, warmup=10, speed=speed, dt=1.0,
+        density=0.02, target_degree=9.0, seed=seed,
+        max_levels=levels_for(n), hop_mode="euclidean",
+    )
+    collector = StalenessCollector(np.random.default_rng(seed))
+    res = Simulator(sc, collectors=[collector]).run()
+    return res.extras["staleness"]
 
 
 def run(quick: bool = True, seeds=(0, 1)) -> ExperimentResult:

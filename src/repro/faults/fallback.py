@@ -60,6 +60,9 @@ class QueryLedger:
     """Packets spent on expanding-ring floods after probe failure."""
     success_series: list[float] = field(default_factory=list)
     """Per-step query success rate (direct + fallback)."""
+    self_pairs: int = 0
+    """Discarded s == d draws (a node "querying" its own location would
+    resolve trivially and inflate the hit rate; the sampler redraws)."""
     _step_attempts: int = field(default=0, repr=False)
     _step_successes: int = field(default=0, repr=False)
 

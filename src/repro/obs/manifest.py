@@ -68,11 +68,13 @@ class RunManifest:
     schema: str = SCHEMA
 
     @classmethod
-    def from_result(cls, res, hop_sample_every: int = 1000) -> "RunManifest":
+    def from_result(cls, res, hop_sample_every: int | None = None) -> "RunManifest":
         """Build a manifest from a finished :class:`SimResult`.
 
         ``hop_sample_every`` must match the value the run used — it is
-        part of the cache key.
+        part of the cache key.  ``None`` (default) uses the scenario's
+        own ``hop_sample_every``, which is what every default-cadence
+        run and sweep uses.
         """
         # Imported here: obs must stay importable before repro.sim
         # finishes initializing (the engine lazily imports obs.timers).

@@ -1,20 +1,31 @@
-"""Result persistence — JSON artifacts for runs and sweeps.
+"""Result persistence — JSON artifacts for runs and sweeps, and binary
+checkpoints for long runs.
 
 Long sweeps are expensive; this module serializes their outputs
 (scenario echo + scalar metrics, never raw traces) so benches and
 notebooks can reload results without re-simulating.  The schema is
 versioned and loading validates it, so stale artifacts fail loudly
 rather than silently misplotting.
+
+Checkpoints (:func:`save_checkpoint` / :func:`load_checkpoint`) are a
+different beast: full mid-run simulator state, pickled as one object so
+shared references survive, written atomically (tmp + rename) so a crash
+mid-write never leaves a truncated file, and validated against
+:data:`repro.sim.sweep.CODE_VERSION` on load so a resumed run can never
+silently mix simulator versions.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import pickle
 from pathlib import Path
 
 from repro.analysis.scaling import SweepPoint
 from repro.core.events import EventKind
+from repro.sim.checkpoint import CHECKPOINT_SCHEMA, SimCheckpoint
 from repro.sim.metrics import SimResult
 from repro.sim.scenario import Scenario
 
@@ -25,6 +36,8 @@ __all__ = [
     "load_result_dict",
     "save_sweep",
     "load_sweep",
+    "save_checkpoint",
+    "load_checkpoint",
 ]
 
 SCHEMA_VERSION = 1
@@ -114,6 +127,55 @@ def save_sweep(points: list[SweepPoint], path, meta: dict | None = None) -> Path
     p.parent.mkdir(parents=True, exist_ok=True)
     p.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return p
+
+
+def save_checkpoint(ck: SimCheckpoint, path) -> Path:
+    """Write a simulator checkpoint atomically; returns the path.
+
+    The checkpoint is pickled as a single object (shared references —
+    e.g. the delivery engine held by both the engine state and a query
+    collector — stay shared on load) and written via tmp + rename so a
+    crash mid-write leaves the previous checkpoint intact.
+    """
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    tmp = p.with_suffix(p.suffix + f".tmp-{os.getpid()}")
+    with tmp.open("wb") as fh:
+        pickle.dump(ck, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp.replace(p)
+    return p
+
+
+def load_checkpoint(path) -> SimCheckpoint:
+    """Load a checkpoint written by :func:`save_checkpoint`.
+
+    Validates the checkpoint schema and the simulator
+    :data:`~repro.sim.sweep.CODE_VERSION`: a checkpoint from different
+    simulator semantics raises ``ValueError`` (resuming it could not
+    reproduce the uninterrupted run).  Corrupt files raise whatever
+    pickle raises — callers that want "fresh run on any failure"
+    semantics (e.g. the sweep runner) catch broadly.
+    """
+    # Imported here: sweep sits above this module in the import layering
+    # (persist -> analysis.scaling -> engine; sweep imports engine too).
+    from repro.sim.sweep import CODE_VERSION
+
+    with Path(path).open("rb") as fh:
+        ck = pickle.load(fh)
+    if not isinstance(ck, SimCheckpoint):
+        raise ValueError(f"not a simulator checkpoint: {path}")
+    if ck.schema != CHECKPOINT_SCHEMA:
+        raise ValueError(
+            f"checkpoint schema {ck.schema!r} != {CHECKPOINT_SCHEMA} "
+            f"(stale file: {path})"
+        )
+    if ck.code_version != CODE_VERSION:
+        raise ValueError(
+            f"checkpoint written by simulator version {ck.code_version!r}, "
+            f"this is {CODE_VERSION!r} — a resumed run would not match an "
+            f"uninterrupted one (stale file: {path})"
+        )
+    return ck
 
 
 def load_sweep(path) -> list[SweepPoint]:

@@ -1,11 +1,24 @@
-"""Simulation engine: scenario config, time-stepped loop, result views."""
+"""Simulation engine: scenario config, phased step pipeline, pluggable
+collectors, checkpoint/resume, result views."""
 
+from repro.sim.checkpoint import SimCheckpoint
+from repro.sim.collectors import (
+    Collector,
+    HopSampleCollector,
+    LedgerCollector,
+    LevelSeriesCollector,
+    LinkEventCollector,
+    QueryCollector,
+    StateCollector,
+    TraceCollector,
+)
 from repro.sim.engine import Simulator, run_scenario
 from repro.sim.hops import BfsHops, EuclideanHops
 from repro.sim.metrics import LevelSeries, SimResult
 from repro.sim.presets import PRESETS, make_scenario
 from repro.sim.rng import spawn_rngs
 from repro.sim.scenario import Scenario
+from repro.sim.snapshot import StepSnapshot
 from repro.sim.sweep import (
     CODE_VERSION,
     SweepError,
@@ -27,6 +40,16 @@ from repro.sim.trace import EventTrace, TraceEvent
 __all__ = [
     "Simulator",
     "run_scenario",
+    "StepSnapshot",
+    "SimCheckpoint",
+    "Collector",
+    "LedgerCollector",
+    "LinkEventCollector",
+    "LevelSeriesCollector",
+    "StateCollector",
+    "HopSampleCollector",
+    "TraceCollector",
+    "QueryCollector",
     "BfsHops",
     "EuclideanHops",
     "LevelSeries",

@@ -1,0 +1,97 @@
+"""Checkpoint container for long simulation runs.
+
+A :class:`SimCheckpoint` freezes *everything* a mid-run simulator needs
+to continue bit-identically: the mobility model (positions, waypoints,
+and its RNG), the handoff engine's assignment/staleness state, the
+maintainer (sticky/persistent elections), the delivery engine, the
+failure state and RNG, and every collector object (which carry their
+own RNG streams).  All of it is pickled as one object, so references
+shared between components — e.g. the delivery engine held by both the
+simulator and the query collector — stay shared after restore.
+
+Checkpoints are code-version-stamped: loading a checkpoint written by a
+different :data:`repro.sim.sweep.CODE_VERSION` fails loudly (a resumed
+run must equal an uninterrupted one, which only holds within one
+simulator version).  See :func:`repro.persist.save_checkpoint` /
+:func:`repro.persist.load_checkpoint` for the on-disk format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.sim.scenario import Scenario
+
+__all__ = ["CHECKPOINT_SCHEMA", "SimCheckpoint"]
+
+CHECKPOINT_SCHEMA = 1
+"""On-disk checkpoint layout version (bumped when fields change shape)."""
+
+
+@dataclass
+class SimCheckpoint:
+    """Full mid-run simulator state (see the module docstring).
+
+    Attributes
+    ----------
+    code_version:
+        :data:`repro.sim.sweep.CODE_VERSION` at save time; loading
+        validates it.
+    scenario:
+        The run's scenario (restore re-derives nothing from it — it is
+        carried for validation and resumed construction).
+    hop_sample_every:
+        The resolved sampling cadence the run was started with.
+    next_step:
+        First metered step the resumed run will execute.
+    started:
+        Whether warmup + baseline already ran (always True for
+        checkpoints taken mid-loop).
+    model:
+        The mobility model, including positions and its RNG stream.
+    engine:
+        The :class:`~repro.core.handoff.HandoffEngine` (assignments,
+        stale entries).
+    maintainer:
+        Sticky/persistent hierarchy maintainer, or None (memoryless).
+    delivery:
+        The lossy-control :class:`~repro.faults.DeliveryEngine`, or None.
+    down_until:
+        Per-node repair deadlines of the crash/repair process.
+    now:
+        Simulated failure-process clock.
+    failure_rng:
+        The crash-sampling RNG stream.
+    prev_hierarchy:
+        Last step's hierarchy (address-diff reference for collectors).
+    collectors:
+        Every registered collector object, in dispatch order.
+    timings:
+        Accumulated :class:`~repro.obs.timers.StepTimings`, or None.
+    trace:
+        The simulator's :class:`~repro.sim.trace.EventTrace`, or None
+        (the same object a :class:`TraceCollector` holds).
+    schema:
+        :data:`CHECKPOINT_SCHEMA` at save time.
+    """
+
+    code_version: str
+    scenario: Scenario
+    hop_sample_every: int
+    next_step: int
+    started: bool
+    model: Any
+    engine: Any
+    maintainer: Any
+    delivery: Any
+    down_until: np.ndarray
+    now: float
+    failure_rng: Any
+    prev_hierarchy: Any
+    collectors: list
+    timings: Any = None
+    trace: Any = None
+    schema: int = field(default=CHECKPOINT_SCHEMA)

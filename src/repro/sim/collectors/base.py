@@ -1,0 +1,58 @@
+"""The collector protocol: the measurement plane's extension point.
+
+A collector is an object with three hooks — ``on_start`` (baseline
+snapshot, before any metered step), ``on_step`` (once per metered step,
+in registration order), and ``finalize`` (after the last step, returning
+the collector's contribution to the :class:`~repro.sim.metrics.SimResult`).
+The engine never inspects collector internals; checkpointing pickles the
+collector objects wholesale, so any picklable state resumes for free.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.snapshot import StepSnapshot
+
+__all__ = ["Collector"]
+
+
+class Collector:
+    """Base class / protocol for pipeline observers.
+
+    Subclass and override any subset of the hooks.  Class attributes:
+
+    ``name``
+        Stable identifier; un-routable ``finalize`` output lands in
+        ``SimResult.extras`` under this key.
+    ``phase``
+        The :data:`repro.obs.timers.PHASES` bucket this collector's
+        dispatch time is charged to when the run is profiled
+        (default ``"diff"``, the metering bucket).
+
+    Contract: hooks must treat the snapshot as read-only, and any state
+    a collector keeps across steps must be picklable for
+    checkpoint/resume to cover it.
+    """
+
+    name: str = "collector"
+    phase: str = "diff"
+
+    def on_start(self, snap: "StepSnapshot") -> None:
+        """Observe the unmetered baseline snapshot (``snap.step == -1``,
+        ``snap.report is None``) before the first metered step."""
+
+    def on_step(self, snap: "StepSnapshot") -> None:
+        """Observe one metered step (called exactly once per step, in
+        collector registration order)."""
+
+    def finalize(self, elapsed: float) -> dict[str, Any] | Any:
+        """Return this collector's outputs after the last step.
+
+        ``elapsed`` is the metered simulated time in seconds.  A dict
+        whose keys name :class:`~repro.sim.metrics.SimResult` fields is
+        merged into the result; unknown keys (or a non-dict return) go
+        to ``SimResult.extras``.
+        """
+        return {}

@@ -1,0 +1,28 @@
+"""Handoff overhead accounting as a collector."""
+
+from __future__ import annotations
+
+from repro.core.accounting import OverheadLedger
+from repro.sim.collectors.base import Collector
+
+__all__ = ["LedgerCollector"]
+
+
+class LedgerCollector(Collector):
+    """Feeds each step's :class:`~repro.core.handoff.HandoffReport` into
+    an :class:`~repro.core.accounting.OverheadLedger` (phi, gamma,
+    registration, retransmission/staleness series)."""
+
+    name = "ledger"
+    phase = "handoff"
+
+    def __init__(self, n_nodes: int):
+        self.ledger = OverheadLedger(n_nodes=n_nodes)
+
+    def on_step(self, snap) -> None:
+        """Record the step's handoff report against the step duration."""
+        self.ledger.record(snap.report, snap.scenario.dt)
+
+    def finalize(self, elapsed: float) -> dict:
+        """Contribute ``ledger`` to the result."""
+        return {"ledger": self.ledger}

@@ -1,0 +1,42 @@
+"""Level-0 link event tracking and mean degree as a collector."""
+
+from __future__ import annotations
+
+from repro.radio.linkevents import LinkTracker
+from repro.sim.collectors.base import Collector
+
+__all__ = ["LinkEventCollector"]
+
+
+class LinkEventCollector(Collector):
+    """Meters level-0 link events (Eq. 4's f_0) and the mean degree.
+
+    Observes the baseline edge set too, so the first metered step diffs
+    against the pre-run topology — exactly the inline behavior it
+    replaces.
+    """
+
+    name = "links"
+    phase = "diff"
+
+    def __init__(self, n: int):
+        self._tracker = LinkTracker(n=n)
+        self._degree_sum = 0.0
+        self._steps = 0
+
+    def on_start(self, snap) -> None:
+        """Record the baseline edge set (the first diff's reference)."""
+        self._tracker.observe(snap.edges)
+
+    def on_step(self, snap) -> None:
+        """Diff this step's edges against the last and accumulate degree."""
+        self._tracker.observe(snap.edges)
+        self._degree_sum += 2.0 * len(snap.edges) / snap.scenario.n
+        self._steps += 1
+
+    def finalize(self, elapsed: float) -> dict:
+        """Contribute ``f0`` and ``mean_degree`` to the result."""
+        return {
+            "f0": self._tracker.events_per_node_per_second(elapsed),
+            "mean_degree": self._degree_sum / self._steps if self._steps else 0.0,
+        }

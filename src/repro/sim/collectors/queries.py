@@ -1,0 +1,73 @@
+"""Location-query sampling through the (possibly lossy) stack.
+
+Owns the dedicated "queries" RNG stream.  Self-pairs (s == d) are
+redrawn — a node "querying" its own location resolves trivially and
+would inflate the measured hit rate for free — and counted in
+``QueryLedger.self_pairs``.  Redrawing (rather than skipping) keeps the
+per-step attempt count exactly ``queries_per_step``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.collectors.base import Collector
+
+__all__ = ["QueryCollector"]
+
+
+class QueryCollector(Collector):
+    """Samples random s-d location queries each step via the engine's
+    effective assignment, metering direct hits, expanding-ring
+    fallbacks, and outright failures."""
+
+    name = "queries"
+    phase = "diff"
+
+    def __init__(self, rng: np.random.Generator, delivery=None):
+        from repro.faults import QueryLedger
+
+        self._rng = rng
+        self._delivery = delivery
+        self.ledger = QueryLedger()
+
+    def on_step(self, snap) -> None:
+        """Resolve this step's query batch against the effective
+        assignment; failed probes fall back to an expanding-ring flood
+        (successful but metered as degradation), unreachable targets
+        fail outright."""
+        from repro.core.query import resolve
+        from repro.faults import expanding_ring_cost
+
+        sc = snap.scenario
+        ledger = self.ledger
+        assignment = snap.assignment
+        hierarchy = snap.hierarchy
+        hop_fn = snap.hop_fn
+        for _ in range(sc.queries_per_step):
+            pair = self._rng.integers(0, sc.n, size=2)
+            s, d = int(pair[0]), int(pair[1])
+            while s == d:
+                ledger.self_pairs += 1
+                pair = self._rng.integers(0, sc.n, size=2)
+                s, d = int(pair[0]), int(pair[1])
+            qr = resolve(
+                hierarchy, assignment, s, d, hop_fn,
+                hash_fn=sc.hash_fn, delivery=self._delivery,
+            )
+            if qr.hit_level >= 0:
+                ledger.record_direct(qr.packets)
+                continue
+            target_hops = hop_fn(s, d)
+            if target_hops > 0:
+                flood = expanding_ring_cost(
+                    target_hops, sc.n, sc.density, sc.r_tx
+                )
+                ledger.record_fallback(qr.packets, flood)
+            else:
+                ledger.record_failure(qr.packets)
+        ledger.close_step()
+
+    def finalize(self, elapsed: float) -> dict:
+        """Contribute ``queries`` (the :class:`QueryLedger`)."""
+        return {"queries": self.ledger}

@@ -1,0 +1,41 @@
+"""ALCA election-state tracking as a collector."""
+
+from __future__ import annotations
+
+from repro.clustering.state import StateTracker
+from repro.sim.collectors.base import Collector
+
+__all__ = ["StateCollector"]
+
+
+class StateCollector(Collector):
+    """Tracks per-level ALCA state occupancies (the p_j estimates of
+    Eqs. 15-22), observing the baseline and every metered step."""
+
+    name = "states"
+    phase = "diff"
+
+    def __init__(self):
+        self._trackers: dict[int, StateTracker] = {}
+
+    def _observe(self, hierarchy) -> None:
+        for lvl in hierarchy.levels:
+            if lvl.election is None:
+                continue
+            self._trackers.setdefault(lvl.k, StateTracker()).observe(lvl.election)
+
+    def on_start(self, snap) -> None:
+        """Observe the baseline election states."""
+        self._observe(snap.hierarchy)
+
+    def on_step(self, snap) -> None:
+        """Observe this step's election states."""
+        self._observe(snap.hierarchy)
+
+    def finalize(self, elapsed: float) -> dict:
+        """Contribute ``state_stats`` (levels with samples only)."""
+        return {
+            "state_stats": {
+                j: t.stats() for j, t in self._trackers.items() if t.samples > 0
+            }
+        }

@@ -1,0 +1,45 @@
+"""Event-trace recording as a collector."""
+
+from __future__ import annotations
+
+from repro.sim.collectors.base import Collector
+from repro.sim.trace import EventTrace
+
+__all__ = ["TraceCollector"]
+
+
+class TraceCollector(Collector):
+    """Records handoff migrations/reorgs into an
+    :class:`~repro.sim.trace.EventTrace` ring buffer."""
+
+    name = "trace"
+    phase = "diff"
+
+    def __init__(self, trace: EventTrace):
+        self.trace = trace
+
+    def on_step(self, snap) -> None:
+        """Record this step's pure migrations, reorgs, and handoff totals."""
+        trace = self.trace
+        report = snap.report
+        t = snap.t
+        for ev in report.diff.migrations:
+            if ev.pure:
+                trace.record(
+                    t, "migration", node=ev.node, level=ev.level,
+                    old=ev.old_cluster, new=ev.new_cluster,
+                )
+        for ev in report.diff.reorgs:
+            trace.record(
+                t, f"reorg:{ev.kind.value}", level=ev.level,
+                subject=ev.subject, other=ev.other,
+            )
+        if report.total_handoff_packets:
+            trace.record(
+                t, "handoff", phi=report.phi_packets,
+                gamma=report.gamma_packets,
+            )
+
+    def finalize(self, elapsed: float) -> dict:
+        """Contribute ``trace`` to the result."""
+        return {"trace": self.trace}

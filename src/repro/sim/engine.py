@@ -6,11 +6,21 @@ One step of the pipeline (Section 1.2's model, end to end):
 2. the unit-disk graph is rebuilt (k-d tree),
 3. the ALCA hierarchy is re-elected recursively,
 4. the CHLM handoff engine diffs server assignments and meters packets,
-5. trackers record link events (f_0, g_k), ALCA states (p_j), level
-   shapes (alpha_k, |E_k|), and sampled hop counts (h, h_k).
+5. the step's outputs are frozen into a
+   :class:`~repro.sim.snapshot.StepSnapshot` and dispatched to the
+   registered collectors (:mod:`repro.sim.collectors`), which record
+   link events (f_0, g_k), ALCA states (p_j), level shapes (alpha_k,
+   |E_k|), sampled hop counts (h, h_k), traces, and queries.
 
 Warmup steps run mobility only, letting the RWP spatial distribution mix
-before metering starts.
+before metering starts.  The stepping plane (phases 1-4) and the
+measurement plane (collectors) are fully decoupled: custom metrics are
+added by registering collectors, never by editing this loop — see
+docs/ARCHITECTURE.md.
+
+Long runs can be checkpointed (:meth:`Simulator.checkpoint`) and resumed
+(:meth:`Simulator.restore`); a resumed run produces a result identical
+to an uninterrupted one with the same seed.
 """
 
 from __future__ import annotations
@@ -19,39 +29,46 @@ import time
 
 import numpy as np
 
-from repro.clustering.state import StateTracker
-from repro.core.accounting import OverheadLedger
 from repro.core.handoff import HandoffEngine
 from repro.graphs import CompactGraph
-from repro.hierarchy.levels import ClusteredHierarchy, build_hierarchy
-from repro.hierarchy.stats import level_hop_counts, mean_hop_count
+from repro.hierarchy.levels import build_hierarchy
 from repro.mobility import make_model
-from repro.radio.linkevents import LinkTracker
 from repro.radio.unit_disk import unit_disk_edges
+from repro.sim.checkpoint import SimCheckpoint
 from repro.sim.hops import BfsHops, EuclideanHops
-from repro.sim.kernels import (
-    EMPTY_IDS,
-    EMPTY_KEYS,
-    count_drift,
-    diff_keys,
-    giant_fraction,
-    level_edge_keys,
-)
-from repro.sim.metrics import LevelSeries, SimResult
+from repro.sim.metrics import SimResult
 from repro.sim.rng import spawn_rngs
 from repro.sim.scenario import Scenario
+from repro.sim.snapshot import StepSnapshot
 
 __all__ = ["Simulator", "run_scenario"]
 
+# SimResult fields a collector's finalize() dict may populate; anything
+# else a collector returns is routed to SimResult.extras.
+_RESULT_FIELDS = frozenset({
+    "ledger", "f0", "level_series", "state_stats", "h_network", "h_levels",
+    "mean_degree", "giant_fraction", "trace", "queries",
+})
+
 
 class Simulator:
-    """Executes one :class:`~repro.sim.scenario.Scenario`."""
+    """Executes one :class:`~repro.sim.scenario.Scenario`.
 
-    def __init__(self, scenario: Scenario, hop_sample_every: int = 25,
+    The engine owns the stepping plane only; every metric is produced by
+    a collector (:mod:`repro.sim.collectors`).  ``collectors=`` appends
+    custom collectors after the scenario's default set — each sees every
+    metered step exactly once and contributes to the result via
+    ``finalize()`` (unknown keys land in ``SimResult.extras``).
+    """
+
+    def __init__(self, scenario: Scenario, hop_sample_every: int | None = None,
                  trace: bool = False, trace_capacity: int | None = 50_000,
-                 profile: bool = False):
+                 profile: bool = False, collectors: list | None = None):
         self.sc = scenario
-        self.hop_sample_every = max(int(hop_sample_every), 1)
+        self.hop_sample_every = (
+            scenario.hop_sample_every if hop_sample_every is None
+            else max(int(hop_sample_every), 1)
+        )
         self.trace = None
         if trace:
             from repro.sim.trace import EventTrace
@@ -71,9 +88,7 @@ class Simulator:
             scenario.seed,
             ["placement", "mobility", "sampling", "failures", "faults", "queries"],
         )
-        self._sampling_rng = rngs["sampling"]
         self._failure_rng = rngs["failures"]
-        self._query_rng = rngs["queries"]
         # Lossy control plane (EXP-A10): built only when the scenario
         # asks for loss, so lossless runs never touch the fault path.
         self._delivery = None
@@ -113,6 +128,53 @@ class Simulator:
             self._maintainer = PersistentHierarchyMaintainer(
                 max_levels=scenario.max_levels, r0=scenario.r_tx
             )
+        self._engine = HandoffEngine(hash_fn=scenario.hash_fn)
+        self._collectors = self._default_collectors(rngs)
+        if collectors:
+            self._collectors.extend(collectors)
+        self._prev_hierarchy = None
+        self._started = False
+        self._next_step = 0
+
+    @property
+    def next_step(self) -> int:
+        """Index of the next metered step to run (0 for a fresh run).
+
+        After :meth:`restore` this reports where the interrupted run
+        left off; once :meth:`run` returns it equals ``scenario.steps``.
+        """
+        return self._next_step
+
+    def _default_collectors(self, rngs: dict) -> list:
+        """Build the scenario's default measurement plane.
+
+        Dispatch order is stable but immaterial for determinism: the two
+        RNG-consuming collectors (queries, hop sampling) each own a
+        dedicated stream.
+        """
+        from repro.sim.collectors import (
+            HopSampleCollector,
+            LedgerCollector,
+            LevelSeriesCollector,
+            LinkEventCollector,
+            QueryCollector,
+            StateCollector,
+            TraceCollector,
+        )
+
+        sc = self.sc
+        out: list = [
+            LedgerCollector(n_nodes=sc.n),
+            LinkEventCollector(n=sc.n),
+        ]
+        if sc.queries_per_step > 0:
+            out.append(QueryCollector(rngs["queries"], delivery=self._delivery))
+        out.append(StateCollector())
+        if self.trace is not None:
+            out.append(TraceCollector(self.trace))
+        out.append(LevelSeriesCollector(n=sc.n))
+        out.append(HopSampleCollector(rngs["sampling"], self.hop_sample_every))
+        return out
 
     # -- helpers ------------------------------------------------------------------
 
@@ -136,10 +198,6 @@ class Simulator:
             return edges
         keep = ~(down[edges[:, 0]] | down[edges[:, 1]])
         return edges[keep]
-
-    def _build(self, positions: np.ndarray):
-        edges = self._edges(positions)
-        return edges, self._elect(positions, edges)
 
     def _edges(self, positions: np.ndarray) -> np.ndarray:
         """Unit-disk rebuild (k-d tree) plus crash filtering."""
@@ -175,15 +233,111 @@ class Simulator:
             return BfsHops(CompactGraph(np.arange(self.sc.n), edges))
         return EuclideanHops(positions, self.sc.r_tx, self.sc.detour)
 
+    # -- pipeline phases ----------------------------------------------------------
+
+    def _start(self, mark=None) -> None:
+        """Warmup mobility, then freeze the unmetered baseline snapshot
+        and dispatch it to every collector's ``on_start``."""
+        sc = self.sc
+        for _ in range(sc.warmup):
+            self.model.step(sc.dt)
+        positions = self.model.positions.copy()
+        edges = self._edges(positions)
+        hierarchy = self._elect(positions, edges)
+        hop_fn = self._hop_fn(positions, edges)
+        self._engine.observe(hierarchy, hop_fn)
+        snap = StepSnapshot(
+            t=0.0, step=-1, positions=positions, edges=edges,
+            hierarchy=hierarchy, prev_hierarchy=None, report=None,
+            hop_fn=hop_fn, scenario=sc, assignment=self._engine.assignment,
+        )
+        for c in self._collectors:
+            c.on_start(snap)
+        self._prev_hierarchy = hierarchy
+        self._started = True
+        if mark is not None:
+            mark("setup")
+
+    def _run_step(self, step: int, mark=None) -> None:
+        """Advance one metered step through the phase pipeline, then
+        dispatch its snapshot to the collectors."""
+        sc = self.sc
+        self.model.step(sc.dt)
+        self._advance_failures(sc.dt)
+        positions = self.model.positions.copy()
+        if mark is not None:
+            mark("mobility")
+        edges = self._edges(positions)
+        if mark is not None:
+            mark("rebuild")
+        hierarchy = self._elect(positions, edges)
+        if mark is not None:
+            mark("hierarchy")
+        hop_fn = self._hop_fn(positions, edges)
+        report = self._engine.observe(
+            hierarchy, hop_fn,
+            delivery=self._delivery, now=(step + 1) * sc.dt,
+        )
+        snap = StepSnapshot(
+            t=(step + 1) * sc.dt, step=step, positions=positions,
+            edges=edges, hierarchy=hierarchy,
+            prev_hierarchy=self._prev_hierarchy, report=report,
+            hop_fn=hop_fn, scenario=sc, assignment=self._engine.assignment,
+        )
+        if mark is not None:
+            mark("handoff")
+        if mark is None:
+            for c in self._collectors:
+                c.on_step(snap)
+        else:
+            for c in self._collectors:
+                c.on_step(snap)
+                mark(c.phase)
+        self._prev_hierarchy = hierarchy
+
+    def _assemble(self) -> SimResult:
+        """Collect every collector's ``finalize()`` output into one
+        :class:`~repro.sim.metrics.SimResult`."""
+        sc = self.sc
+        elapsed = sc.steps * sc.dt
+        merged: dict = {}
+        extras: dict = {}
+        for c in self._collectors:
+            out = c.finalize(elapsed)
+            if isinstance(out, dict):
+                for key, value in out.items():
+                    if key in _RESULT_FIELDS:
+                        merged[key] = value
+                    else:
+                        extras[key] = value
+            elif out is not None:
+                extras[getattr(c, "name", type(c).__name__)] = out
+        return SimResult(
+            scenario=sc,
+            elapsed=elapsed,
+            final_positions=self.model.positions.copy(),
+            timings=self.timings,
+            extras=extras,
+            **merged,
+        )
+
     # -- main loop -----------------------------------------------------------------
 
-    def run(self) -> SimResult:
+    def run(self, checkpoint_every: int | None = None,
+            checkpoint_path=None) -> SimResult:
         """Execute warmup then the metered loop; return all collected metrics.
 
         When the simulator was built with ``profile=True``, each pipeline
         phase is metered into ``self.timings`` with :func:`time.perf_counter`
         between phase boundaries — pure wall-clock observation, so every
         metric series stays bit-identical to an unprofiled run.
+
+        ``checkpoint_path`` enables periodic checkpointing: the full run
+        state is written (atomically) to that path every
+        ``checkpoint_every`` metered steps (default 25).  A crashed run
+        resumes via :meth:`restore`; the resumed result is identical to
+        an uninterrupted run.  On a simulator built by :meth:`restore`,
+        ``run()`` continues from the checkpointed step.
         """
         sc = self.sc
         timings = self.timings
@@ -197,189 +351,122 @@ class Simulator:
                 timings.add(phase, now - t_last)
                 t_last = now
 
-        for _ in range(sc.warmup):
-            self.model.step(sc.dt)
+        every = None
+        if checkpoint_path is not None:
+            every = 25 if checkpoint_every is None else int(checkpoint_every)
+            if every < 1:
+                raise ValueError("checkpoint_every must be >= 1")
+        elif checkpoint_every is not None:
+            raise ValueError("checkpoint_every requires checkpoint_path")
 
-        engine = HandoffEngine(hash_fn=sc.hash_fn)
-        ledger = OverheadLedger(n_nodes=sc.n)
-        link_tracker = LinkTracker(n=sc.n)
-        level_series = LevelSeries()
-        state_trackers: dict[int, StateTracker] = {}
-        h_network: list[float] = []
-        h_levels: dict[int, list[float]] = {}
-        degree_sum = 0.0
-        giant_sum = 0.0
-        giant_samples = 0
-
-        queries = None
-        if sc.queries_per_step > 0:
-            from repro.faults import QueryLedger
-
-            queries = QueryLedger()
-
-        # Baseline snapshot (not metered).
-        positions = self.model.positions.copy()
-        edges, hierarchy = self._build(positions)
-        engine.observe(hierarchy, self._hop_fn(positions, edges))
-        link_tracker.observe(edges)
-        prev_level_edges = level_edge_keys(hierarchy, sc.n)
-        self._observe_states(state_trackers, hierarchy)
-        prev_hierarchy = hierarchy
-        if mark is not None:
-            mark("setup")
-
-        for step in range(sc.steps):
-            self.model.step(sc.dt)
-            self._advance_failures(sc.dt)
-            positions = self.model.positions.copy()
-            if mark is not None:
-                mark("mobility")
-            edges = self._edges(positions)
-            if mark is not None:
-                mark("rebuild")
-            hierarchy = self._elect(positions, edges)
-            if mark is not None:
-                mark("hierarchy")
-            hop_fn = self._hop_fn(positions, edges)
-
-            report = engine.observe(
-                hierarchy, hop_fn,
-                delivery=self._delivery, now=(step + 1) * sc.dt,
-            )
-            ledger.record(report, sc.dt)
-            if mark is not None:
-                mark("handoff")
-            link_tracker.observe(edges)
-            if queries is not None:
-                self._sample_queries(hierarchy, engine, hop_fn, queries)
-            self._observe_states(state_trackers, hierarchy)
-            if self.trace is not None:
-                t = (step + 1) * sc.dt
-                for ev in report.diff.migrations:
-                    if ev.pure:
-                        self.trace.record(
-                            t, "migration", node=ev.node, level=ev.level,
-                            old=ev.old_cluster, new=ev.new_cluster,
-                        )
-                for ev in report.diff.reorgs:
-                    self.trace.record(
-                        t, f"reorg:{ev.kind.value}", level=ev.level,
-                        subject=ev.subject, other=ev.other,
-                    )
-                if report.total_handoff_packets:
-                    self.trace.record(
-                        t, "handoff", phi=report.phi_packets,
-                        gamma=report.gamma_packets,
-                    )
-
-            cur_level_edges = level_edge_keys(hierarchy, sc.n)
-            for k in set(cur_level_edges) | set(prev_level_edges):
-                before, nodes_before = prev_level_edges.get(k, (EMPTY_KEYS, EMPTY_IDS))
-                after, nodes_after = cur_level_edges.get(k, (EMPTY_KEYS, EMPTY_IDS))
-                changed = diff_keys(before, after)
-                drift = count_drift(changed, sc.n, nodes_before, nodes_after)
-                level_series.add_link_events(k, int(changed.size), drift)
-            prev_level_edges = cur_level_edges
-
-            for lvl in hierarchy.levels:
-                level_series.record_level(lvl.k, lvl.n_nodes, lvl.n_edges)
-            for k in range(1, min(prev_hierarchy.num_levels,
-                                  hierarchy.num_levels) + 1):
-                changed = int(
-                    (prev_hierarchy.ancestry(k) != hierarchy.ancestry(k)).sum()
-                )
-                level_series.add_address_changes(k, changed)
-            prev_hierarchy = hierarchy
-            degree_sum += 2.0 * len(edges) / sc.n
-            if mark is not None:
-                mark("diff")
-
-            if step % self.hop_sample_every == 0:
-                g = CompactGraph(np.arange(sc.n), edges)
-                h_network.append(mean_hop_count(g, self._sampling_rng, n_sources=8))
-                for k, val in level_hop_counts(
-                    hierarchy, g, self._sampling_rng,
-                    clusters_per_level=6, sources_per_cluster=2,
-                ).items():
-                    if val > 0:
-                        h_levels.setdefault(k, []).append(val)
-                giant_sum += giant_fraction(g)
-                giant_samples += 1
-                if mark is not None:
-                    mark("sampling")
+        if not self._started:
+            self._start(mark)
+        for step in range(self._next_step, sc.steps):
+            self._run_step(step, mark)
+            self._next_step = step + 1
             if timings is not None:
                 timings.tick_step()
-
-        elapsed = sc.steps * sc.dt
+            if every is not None and self._next_step < sc.steps \
+                    and self._next_step % every == 0:
+                self.checkpoint(checkpoint_path)
+                if timings is not None:
+                    # Checkpoint I/O is not a pipeline phase; restart the
+                    # chain so it is not charged to the next "mobility".
+                    t_last = time.perf_counter()
         if timings is not None:
-            timings.wall_seconds = time.perf_counter() - t_wall
-        return SimResult(
-            scenario=sc,
-            ledger=ledger,
-            f0=link_tracker.events_per_node_per_second(elapsed),
-            level_series=level_series,
-            state_stats={
-                j: t.stats() for j, t in state_trackers.items() if t.samples > 0
-            },
-            h_network=h_network,
-            h_levels=h_levels,
-            mean_degree=degree_sum / sc.steps,
-            giant_fraction=giant_sum / giant_samples if giant_samples else 0.0,
-            elapsed=elapsed,
-            trace=self.trace,
-            final_positions=positions,
-            queries=queries,
-            timings=timings,
-        )
+            timings.wall_seconds += time.perf_counter() - t_wall
+        return self._assemble()
 
-    def _sample_queries(self, hierarchy, engine, hop_fn, ledger) -> None:
-        """Sample location queries through the (possibly lossy) stack.
+    # -- checkpoint / resume -------------------------------------------------------
 
-        Uses the engine's *effective* assignment, so probes that land on
-        abandoned/stale entries miss; failed queries fall back to an
-        expanding-ring flood — successful but metered as degradation.
-        Unreachable targets (partitioned network) fail outright.
+    def checkpoint(self, path=None) -> SimCheckpoint:
+        """Freeze the full mid-run state into a
+        :class:`~repro.sim.checkpoint.SimCheckpoint`.
+
+        With ``path``, the checkpoint is also written atomically via
+        :func:`repro.persist.save_checkpoint`.  Everything needed for a
+        bit-identical continuation is captured: mobility model + RNG,
+        handoff/maintainer/delivery state, failure state + RNG, and the
+        collector objects (with their own RNG streams).
         """
-        from repro.core.query import resolve
-        from repro.faults import expanding_ring_cost
+        from repro.sim.sweep import CODE_VERSION
 
-        sc = self.sc
-        assignment = engine.assignment
-        for _ in range(sc.queries_per_step):
-            pair = self._query_rng.integers(0, sc.n, size=2)
-            s, d = int(pair[0]), int(pair[1])
-            qr = resolve(
-                hierarchy, assignment, s, d, hop_fn,
-                hash_fn=sc.hash_fn, delivery=self._delivery,
-            )
-            if qr.hit_level >= 0:
-                ledger.record_direct(qr.packets)
-                continue
-            target_hops = hop_fn(s, d)
-            if target_hops > 0:
-                flood = expanding_ring_cost(
-                    target_hops, sc.n, sc.density, sc.r_tx
+        ck = SimCheckpoint(
+            code_version=CODE_VERSION,
+            scenario=self.sc,
+            hop_sample_every=self.hop_sample_every,
+            next_step=self._next_step,
+            started=self._started,
+            model=self.model,
+            engine=self._engine,
+            maintainer=self._maintainer,
+            delivery=self._delivery,
+            down_until=self._down_until,
+            now=self._now,
+            failure_rng=self._failure_rng,
+            prev_hierarchy=self._prev_hierarchy,
+            collectors=self._collectors,
+            timings=self.timings,
+            trace=self.trace,
+        )
+        if path is not None:
+            from repro.persist import save_checkpoint
+
+            save_checkpoint(ck, path)
+        return ck
+
+    @classmethod
+    def restore(cls, source) -> "Simulator":
+        """Rebuild a mid-run simulator from a checkpoint (path or
+        :class:`~repro.sim.checkpoint.SimCheckpoint` object).
+
+        The returned simulator continues exactly where the checkpoint
+        was taken: calling :meth:`run` yields a result identical to the
+        uninterrupted run.  Checkpoints from a different
+        :data:`~repro.sim.sweep.CODE_VERSION` are rejected.
+        """
+        if isinstance(source, SimCheckpoint):
+            from repro.sim.sweep import CODE_VERSION
+
+            ck = source
+            if ck.code_version != CODE_VERSION:
+                raise ValueError(
+                    f"checkpoint was written by simulator version "
+                    f"{ck.code_version!r}, this is {CODE_VERSION!r} — a "
+                    "resumed run would not match an uninterrupted one"
                 )
-                ledger.record_fallback(qr.packets, flood)
-            else:
-                ledger.record_failure(qr.packets)
-        ledger.close_step()
+        else:
+            from repro.persist import load_checkpoint
 
-    @staticmethod
-    def _observe_states(trackers: dict[int, StateTracker], h: ClusteredHierarchy) -> None:
-        for lvl in h.levels:
-            if lvl.election is None:
-                continue
-            trackers.setdefault(lvl.k, StateTracker()).observe(lvl.election)
+            ck = load_checkpoint(source)
+        sim = cls.__new__(cls)
+        sim.sc = ck.scenario
+        sim.hop_sample_every = ck.hop_sample_every
+        sim.trace = ck.trace
+        sim.timings = ck.timings
+        sim._failure_rng = ck.failure_rng
+        sim._delivery = ck.delivery
+        sim._down_until = ck.down_until
+        sim._now = ck.now
+        sim.model = ck.model
+        sim._maintainer = ck.maintainer
+        sim._engine = ck.engine
+        sim._collectors = list(ck.collectors)
+        sim._prev_hierarchy = ck.prev_hierarchy
+        sim._started = ck.started
+        sim._next_step = ck.next_step
+        return sim
 
 
-def run_scenario(scenario: Scenario, hop_sample_every: int = 25,
+def run_scenario(scenario: Scenario, hop_sample_every: int | None = None,
                  profile: bool = False) -> SimResult:
     """Convenience wrapper: build a simulator and run it.
 
-    ``profile=True`` attaches per-phase wall-clock timings
-    (:class:`repro.obs.StepTimings`) to ``result.timings`` — metrics stay
-    bit-identical either way.
+    ``hop_sample_every=None`` (default) uses the scenario's own cadence
+    (``scenario.hop_sample_every``) — the same value sweep cache keys
+    hash, so direct runs and sweeps agree.  ``profile=True`` attaches
+    per-phase wall-clock timings (:class:`repro.obs.StepTimings`) to
+    ``result.timings`` — metrics stay bit-identical either way.
     """
     return Simulator(scenario, hop_sample_every=hop_sample_every,
                      profile=profile).run()

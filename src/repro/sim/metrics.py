@@ -110,6 +110,10 @@ class SimResult:
     """Optional :class:`~repro.obs.timers.StepTimings` with per-phase
     wall-clock totals (set when the simulator ran with ``profile=True``;
     observation only — all metric series are unaffected)."""
+    extras: dict = field(default_factory=dict)
+    """Outputs of custom collectors (see :mod:`repro.sim.collectors`):
+    ``finalize()`` keys that don't name a SimResult field land here, and
+    a non-dict return is stored under the collector's ``name``."""
 
     # -- convenience views -------------------------------------------------------
 

@@ -102,6 +102,13 @@ class Scenario:
         Location queries sampled per metered step (random s-d pairs,
         resolved through the lossy stack with expanding-ring fallback).
         0 (default) samples none, leaving all metered series untouched.
+    hop_sample_every:
+        Hop/giant-component sampling cadence: sample every k-th metered
+        step (step 0 always samples).  Part of the scenario — and thus
+        of the sweep cache key — so direct runs and sweeps agree on the
+        default.  Mean hop sampling is the costliest per-step observation
+        (BFS from several sources); raise the cadence for wide sweeps
+        (see docs/PERFORMANCE.md), lower it when h/h_k accuracy matters.
     seed:
         Root seed for all randomness.
     """
@@ -133,6 +140,7 @@ class Scenario:
     retry_jitter: float = 0.1
     retry_timeout: float = 1.0
     queries_per_step: int = 0
+    hop_sample_every: int = 25
     seed: int = 0
 
     # Numeric fields screened for NaN/inf before any range check runs
@@ -141,7 +149,7 @@ class Scenario:
         "density", "target_degree", "dt", "detour", "failure_rate",
         "repair_time", "loss_rate", "loss_level_coeff", "retry_attempts",
         "retry_backoff", "retry_backoff_factor", "retry_jitter",
-        "retry_timeout", "queries_per_step",
+        "retry_timeout", "queries_per_step", "hop_sample_every",
     )
 
     def __post_init__(self):
@@ -231,6 +239,11 @@ class Scenario:
             raise ValueError(
                 f"queries_per_step must be non-negative, got "
                 f"{self.queries_per_step!r}"
+            )
+        if self.hop_sample_every < 1:
+            raise ValueError(
+                f"hop_sample_every must be >= 1, got "
+                f"{self.hop_sample_every!r} (1 samples every metered step)"
             )
 
     # -- derived quantities -------------------------------------------------------

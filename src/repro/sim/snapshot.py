@@ -1,0 +1,72 @@
+"""Immutable per-step view of the simulation pipeline.
+
+Each metered step, the engine advances its phases (mobility -> unit-disk
+rebuild -> hierarchy election -> handoff diff) and then freezes the
+step's outputs into one :class:`StepSnapshot`, which is dispatched to
+every registered collector (see :mod:`repro.sim.collectors`).  The
+snapshot is the *entire* contract between the stepping plane and the
+measurement plane: collectors read it, never the engine.
+
+The snapshot is immutable by convention (frozen dataclass); the arrays
+and hierarchy objects it references are the engine's working copies and
+must not be mutated by collectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.sim.scenario import Scenario
+
+__all__ = ["StepSnapshot"]
+
+
+@dataclass(frozen=True)
+class StepSnapshot:
+    """Everything one pipeline step produced, frozen for collectors.
+
+    Attributes
+    ----------
+    t:
+        Simulated time at the end of this step, in seconds.
+    step:
+        Metered step index (``0 .. steps-1``).  The baseline snapshot
+        passed to ``Collector.on_start`` uses ``step == -1``.
+    positions:
+        Node positions after this step's mobility phase, shape (n, 2).
+    edges:
+        Unit-disk link list after crash filtering, shape (m, 2).
+    hierarchy:
+        The :class:`~repro.hierarchy.levels.ClusteredHierarchy` elected
+        on this step's topology.
+    prev_hierarchy:
+        The previous step's hierarchy (``None`` on the baseline
+        snapshot) — lets collectors diff addresses across steps.
+    report:
+        The step's :class:`~repro.core.handoff.HandoffReport` (``None``
+        on the baseline snapshot, which precedes any handoff).
+    hop_fn:
+        Hop-count oracle ``(s, d) -> hops`` for this step's topology
+        (:class:`~repro.sim.hops.BfsHops` or
+        :class:`~repro.sim.hops.EuclideanHops`).
+    scenario:
+        The run's immutable :class:`~repro.sim.scenario.Scenario`.
+    assignment:
+        The handoff engine's *effective* server assignment after
+        observing this step (stale entries from abandoned transfers
+        included), for query-style collectors.
+    """
+
+    t: float
+    step: int
+    positions: np.ndarray
+    edges: np.ndarray
+    hierarchy: Any
+    prev_hierarchy: Any
+    report: Any
+    hop_fn: Any
+    scenario: Scenario
+    assignment: Any

@@ -51,7 +51,6 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.sim.engine import run_scenario
 from repro.sim.metrics import SimResult
 from repro.sim.scenario import Scenario
 
@@ -72,10 +71,11 @@ __all__ = [
     "print_progress",
 ]
 
-CODE_VERSION = "2"
-"""Simulator-semantics version baked into every cache key.  Bump this
-whenever a change alters what :func:`repro.sim.engine.run_scenario`
-returns for a given scenario; old cache entries then miss cleanly."""
+CODE_VERSION = "3"
+"""Simulator-semantics version baked into every cache key (and every
+checkpoint).  Bump this whenever a change alters what
+:func:`repro.sim.engine.run_scenario` returns for a given scenario; old
+cache entries then miss cleanly and old checkpoints refuse to resume."""
 
 
 # -- cache keys ---------------------------------------------------------------------
@@ -102,16 +102,20 @@ def normalize_for_json(obj):
     return obj
 
 
-def scenario_key(scenario: Scenario, hop_sample_every: int = 1000,
+def scenario_key(scenario: Scenario, hop_sample_every: int | None = None,
                  profile: bool = False) -> str:
     """Stable SHA-256 cache key for one (scenario, sampling-cadence) run.
 
     The key covers every scenario field (via a sorted JSON dump of the
     dataclass, numpy values normalized to native types so equal
-    scenarios hash equally), the hop-sampling cadence, and
+    scenarios hash equally), the hop-sampling cadence (``None`` resolves
+    to ``scenario.hop_sample_every``, so keys agree with direct
+    :func:`~repro.sim.engine.run_scenario` calls), and
     :data:`CODE_VERSION` — everything that determines the resulting
     :class:`~repro.sim.metrics.SimResult`.
     """
+    if hop_sample_every is None:
+        hop_sample_every = scenario.hop_sample_every
     spec = normalize_for_json(dataclasses.asdict(scenario))
     payload = {
         "scenario": spec,
@@ -280,12 +284,41 @@ class _TaskOutcome:
     worker: int
 
 
-def _run_task(args: tuple[Scenario, int, bool]) -> _TaskOutcome:
-    """Worker: one simulation (module-level so it pickles)."""
-    scenario, hop_sample_every, profile = args
+def _run_task(args: tuple) -> _TaskOutcome:
+    """Worker: one simulation (module-level so it pickles).
+
+    The payload is ``(scenario, hop_sample_every, profile, ckpt_path,
+    ckpt_every)``.  With a checkpoint path, the worker first tries to
+    resume from it — so a task whose previous attempt crashed or timed
+    out restarts from its last checkpoint instead of from scratch.  Any
+    load failure (missing file, corrupt bytes, version mismatch, wrong
+    scenario) falls back to a fresh run; the checkpoint file is removed
+    once the run completes.
+    """
+    from repro.sim.engine import Simulator
+
+    scenario, hop_sample_every, profile, ckpt_path, ckpt_every = args
     t0 = time.perf_counter()
-    res = run_scenario(scenario, hop_sample_every=hop_sample_every,
-                       profile=profile)
+    sim = None
+    if ckpt_path is not None:
+        try:
+            sim = Simulator.restore(ckpt_path)
+        except Exception:
+            sim = None
+        if sim is not None and sim.sc != scenario:
+            sim = None
+    if sim is None:
+        sim = Simulator(scenario, hop_sample_every=hop_sample_every,
+                        profile=profile)
+    if ckpt_path is not None:
+        res = sim.run(checkpoint_every=ckpt_every,
+                      checkpoint_path=ckpt_path)
+        try:
+            os.remove(ckpt_path)
+        except OSError:
+            pass
+    else:
+        res = sim.run()
     return _TaskOutcome(result=res, seconds=time.perf_counter() - t0,
                         worker=os.getpid())
 
@@ -423,7 +456,7 @@ def _execute(
 def run_sweep_detailed(
     scenarios: Sequence[Scenario],
     *,
-    hop_sample_every: int = 1000,
+    hop_sample_every: int | None = None,
     workers: int | None = None,
     cache_dir: str | Path | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
@@ -431,6 +464,8 @@ def run_sweep_detailed(
     task_retries: int = 1,
     retry_backoff: float = 0.5,
     profile: bool = False,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int | None = None,
 ) -> SweepRun:
     """Run every scenario fault-tolerantly; never raises on task failure.
 
@@ -440,7 +475,9 @@ def run_sweep_detailed(
         The task list, typically from :func:`expand_grid`.
     hop_sample_every:
         Hop-sampling cadence forwarded to the simulator (part of the
-        cache key).
+        cache key).  ``None`` (default) uses each scenario's own
+        ``hop_sample_every`` field, so sweep cache keys agree with
+        direct :func:`~repro.sim.engine.run_scenario` calls.
     workers:
         Process count.  ``None`` reads ``REPRO_SWEEP_WORKERS`` (default
         serial); ``0``/``1`` run in-process.  Results are bit-identical
@@ -465,6 +502,16 @@ def run_sweep_detailed(
         :class:`repro.obs.StepTimings` to each result.  Metrics are
         bit-identical; profiled runs use distinct cache entries (their
         results carry timings, unprofiled ones don't).
+    checkpoint_dir:
+        Directory for per-task mid-run checkpoints.  When set, each
+        task checkpoints its simulator state every ``checkpoint_every``
+        steps (keyed by the task's scenario hash), and a retried task —
+        after a crash or timeout — resumes from its last checkpoint
+        instead of restarting from scratch.  Results are bit-identical
+        either way; checkpoint files are removed as tasks complete.
+    checkpoint_every:
+        Checkpoint cadence in metered steps (default 25 when
+        ``checkpoint_dir`` is set; ignored otherwise).
 
     Returns
     -------
@@ -480,6 +527,16 @@ def run_sweep_detailed(
     if cache_dir is None and os.environ.get("REPRO_SWEEP_CACHE"):
         cache_dir = default_cache_dir()
     cache = Path(cache_dir).expanduser() if cache_dir is not None else None
+    ckpt_root = (
+        Path(checkpoint_dir).expanduser() if checkpoint_dir is not None else None
+    )
+    if ckpt_root is not None:
+        ckpt_root.mkdir(parents=True, exist_ok=True)
+
+    def _ckpt_path(sc: Scenario) -> str | None:
+        if ckpt_root is None:
+            return None
+        return str(ckpt_root / f"{scenario_key(sc, hop_sample_every, profile)}.ckpt")
 
     t0 = time.perf_counter()
     results: list[SimResult | None] = [None] * len(scenarios)
@@ -523,7 +580,11 @@ def run_sweep_detailed(
     n_workers = _resolve_workers(workers, len(pending))
     failures = _execute(
         _run_task,
-        {i: (scenarios[i], hop_sample_every, profile) for i in pending},
+        {
+            i: (scenarios[i], hop_sample_every, profile,
+                _ckpt_path(scenarios[i]), checkpoint_every)
+            for i in pending
+        },
         workers=n_workers,
         task_timeout=task_timeout,
         task_retries=task_retries,
@@ -541,7 +602,7 @@ def run_sweep_detailed(
 def run_sweep(
     scenarios: Sequence[Scenario],
     *,
-    hop_sample_every: int = 1000,
+    hop_sample_every: int | None = None,
     workers: int | None = None,
     cache_dir: str | Path | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
@@ -550,6 +611,8 @@ def run_sweep(
     retry_backoff: float = 0.5,
     on_error: str = "raise",
     profile: bool = False,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int | None = None,
 ) -> list[SimResult]:
     """Run every scenario; return results in input order.
 
@@ -572,6 +635,8 @@ def run_sweep(
         task_retries=task_retries,
         retry_backoff=retry_backoff,
         profile=profile,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
     )
     if run.errors and on_error == "raise":
         raise SweepError(run)
@@ -584,7 +649,7 @@ def cached_sweep(
     metrics: dict[str, Callable[[SimResult], float]],
     seeds=(0, 1),
     scenario_for: Callable[[Scenario, int], Scenario] | None = None,
-    hop_sample_every: int = 1000,
+    hop_sample_every: int | None = None,
     workers: int | None = None,
     cache_dir: str | Path | None = None,
     keep_results: bool = False,
@@ -592,6 +657,8 @@ def cached_sweep(
     task_timeout: float | None = None,
     task_retries: int = 1,
     profile: bool = False,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int | None = None,
 ) -> list["SweepPoint"]:
     """Drop-in :func:`repro.analysis.scaling.sweep` on the sweep runner.
 
@@ -623,6 +690,8 @@ def cached_sweep(
         task_timeout=task_timeout,
         task_retries=task_retries,
         profile=profile,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
     )
     points = []
     per_n = len(seeds)

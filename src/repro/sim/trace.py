@@ -9,6 +9,7 @@ works identically with recording off.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -30,17 +31,26 @@ class TraceEvent:
 
 @dataclass
 class EventTrace:
-    """Append-only event log with filtering and summarization."""
+    """Bounded event log (ring buffer) with filtering and summarization.
 
-    events: list[TraceEvent] = field(default_factory=list)
+    At ``capacity`` the *oldest* events are evicted (and counted in
+    ``dropped``), so a saturated trace always holds the most recent
+    window — matching :meth:`to_lines`'s "most recent last" rendering.
+    """
+
+    events: "deque[TraceEvent]" = field(default_factory=deque)
     capacity: int | None = None
     dropped: int = 0
 
+    def __post_init__(self):
+        maxlen = None if self.capacity is None else max(int(self.capacity), 0)
+        self.events = deque(self.events, maxlen=maxlen)
+
     def record(self, t: float, kind: str, **payload) -> None:
-        """Append one event; silently drops past ``capacity`` (counted)."""
-        if self.capacity is not None and len(self.events) >= self.capacity:
+        """Append one event; at ``capacity`` the oldest event is evicted
+        (counted in ``dropped``) so the newest events always survive."""
+        if self.events.maxlen is not None and len(self.events) == self.events.maxlen:
             self.dropped += 1
-            return
         self.events.append(TraceEvent(t=float(t), kind=str(kind), payload=payload))
 
     def __len__(self) -> int:
@@ -73,7 +83,9 @@ class EventTrace:
 
     def to_lines(self, limit: int | None = None) -> list[str]:
         """Human-readable rendering (most recent last)."""
-        evs = self.events if limit is None else self.events[-limit:]
+        evs = list(self.events)
+        if limit is not None:
+            evs = evs[-limit:]
         lines = [str(ev) for ev in evs]
         if self.dropped:
             lines.append(f"... ({self.dropped} events dropped at capacity)")

@@ -1,0 +1,123 @@
+"""Tests for the collector pipeline: dispatch contract, extras routing,
+and non-interference with the default measurement plane."""
+
+import numpy as np
+
+from repro.sim import Scenario, Simulator
+from repro.sim.collectors import Collector
+
+
+class CountingCollector(Collector):
+    """Records exactly which hooks fire and with which snapshots."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.start_calls = 0
+        self.start_snap = None
+        self.steps_seen = []
+        self.finalized = False
+
+    def on_start(self, snap):
+        self.start_calls += 1
+        self.start_snap = snap
+
+    def on_step(self, snap):
+        self.steps_seen.append(snap.step)
+
+    def finalize(self, elapsed):
+        self.finalized = True
+        return {"steps_observed": len(self.steps_seen)}
+
+
+def _scenario(**over):
+    base = dict(n=80, steps=8, warmup=2, speed=2.0, seed=3, max_levels=3)
+    base.update(over)
+    return Scenario(**base)
+
+
+class TestDispatchContract:
+    def test_every_step_seen_exactly_once(self):
+        sc = _scenario()
+        c = CountingCollector()
+        Simulator(sc, collectors=[c]).run()
+        assert c.start_calls == 1
+        assert c.steps_seen == list(range(sc.steps))
+        assert c.finalized
+
+    def test_start_snapshot_is_baseline(self):
+        c = CountingCollector()
+        Simulator(_scenario(), collectors=[c]).run()
+        snap = c.start_snap
+        assert snap.step == -1
+        assert snap.report is None
+        assert snap.prev_hierarchy is None
+        assert snap.t == 0.0
+
+    def test_step_snapshots_carry_state(self):
+        class Probing(Collector):
+            def __init__(self):
+                self.ok = True
+
+            def on_step(self, snap):
+                self.ok = self.ok and (
+                    snap.report is not None
+                    and snap.hierarchy is not None
+                    and snap.prev_hierarchy is not None
+                    and snap.assignment is not None
+                    and snap.positions.shape == (snap.scenario.n, 2)
+                )
+
+        p = Probing()
+        Simulator(_scenario(), collectors=[p]).run()
+        assert p.ok
+
+
+class TestExtrasRouting:
+    def test_unknown_dict_keys_land_in_extras(self):
+        c = CountingCollector()
+        res = Simulator(_scenario(), collectors=[c]).run()
+        assert res.extras["steps_observed"] == 8
+
+    def test_non_dict_return_keyed_by_name(self):
+        class Scalar(Collector):
+            name = "scalar"
+
+            def finalize(self, elapsed):
+                return 42
+
+        res = Simulator(_scenario(), collectors=[Scalar()]).run()
+        assert res.extras["scalar"] == 42
+
+    def test_no_custom_collectors_no_extras(self):
+        res = Simulator(_scenario()).run()
+        assert res.extras == {}
+
+
+class TestNonInterference:
+    def test_extra_collector_leaves_default_series_bit_identical(self):
+        sc = _scenario(steps=10, queries_per_step=4)
+        plain = Simulator(sc).run()
+        with_extra = Simulator(sc, collectors=[CountingCollector()]).run()
+        assert plain.phi == with_extra.phi
+        assert plain.gamma == with_extra.gamma
+        assert plain.f0 == with_extra.f0
+        assert plain.h_network == with_extra.h_network
+        assert plain.ledger.stale_series == with_extra.ledger.stale_series
+        assert plain.queries.probe_packets == with_extra.queries.probe_packets
+        assert np.array_equal(plain.final_positions,
+                              with_extra.final_positions)
+
+
+class TestQuerySelfPairs:
+    def test_self_pairs_redrawn_and_counted(self):
+        # n small enough that s == d draws are near-certain across
+        # steps * queries_per_step batches; lossless so every properly
+        # drawn query must resolve.
+        sc = _scenario(n=40, steps=10, queries_per_step=30, loss_rate=0.0)
+        res = Simulator(sc).run()
+        q = res.queries
+        assert q.self_pairs > 0
+        assert q.attempts == sc.steps * sc.queries_per_step
+        assert q.success_rate == 1.0
+        assert q.failures == 0

@@ -1,0 +1,139 @@
+"""Tests for checkpoint/resume: a resumed run must be indistinguishable
+from an uninterrupted one, and stale/corrupt checkpoints must be
+rejected or ignored rather than trusted."""
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.persist import load_checkpoint, save_checkpoint
+from repro.sim import Scenario, SimCheckpoint, Simulator
+from repro.sim.sweep import CODE_VERSION, _run_task, run_sweep
+
+
+def _scenario(**over):
+    base = dict(n=80, steps=12, warmup=3, speed=2.0, seed=7, max_levels=3)
+    base.update(over)
+    return Scenario(**base)
+
+
+def _assert_same_result(a, b):
+    assert a.phi == b.phi
+    assert a.gamma == b.gamma
+    assert a.f0 == b.f0
+    assert a.ledger.stale_series == b.ledger.stale_series
+    assert a.ledger.migration_packets == b.ledger.migration_packets
+    assert a.ledger.reorg_packets == b.ledger.reorg_packets
+    assert np.array_equal(a.final_positions, b.final_positions)
+
+
+class TestResumeEqualsUninterrupted:
+    def test_restore_mid_run_finishes_identically(self, tmp_path):
+        sc = _scenario()
+        baseline = Simulator(sc).run()
+
+        path = tmp_path / "run.ckpt"
+        # A checkpointing run leaves its last mid-run checkpoint behind
+        # (the engine itself never deletes; callers do).
+        checkpointed = Simulator(sc).run(checkpoint_every=5,
+                                         checkpoint_path=str(path))
+        _assert_same_result(baseline, checkpointed)
+        assert path.exists()
+
+        resumed_sim = Simulator.restore(str(path))
+        assert 0 < resumed_sim.next_step < sc.steps
+        _assert_same_result(baseline, resumed_sim.run())
+
+    def test_resume_lossy_scenario_with_queries(self, tmp_path):
+        sc = _scenario(loss_rate=0.15, retry_attempts=3, queries_per_step=5)
+        baseline = Simulator(sc).run()
+
+        path = tmp_path / "lossy.ckpt"
+        Simulator(sc).run(checkpoint_every=4, checkpoint_path=str(path))
+        resumed = Simulator.restore(str(path)).run()
+        _assert_same_result(baseline, resumed)
+        assert resumed.queries.attempts == baseline.queries.attempts
+        assert resumed.queries.probe_packets == baseline.queries.probe_packets
+        assert (resumed.queries.success_series
+                == baseline.queries.success_series)
+
+    def test_restore_accepts_checkpoint_object(self, tmp_path):
+        sc = _scenario(steps=8)
+        baseline = Simulator(sc).run()
+        path = tmp_path / "obj.ckpt"
+        Simulator(sc).run(checkpoint_every=3, checkpoint_path=str(path))
+        ck = load_checkpoint(path)
+        assert isinstance(ck, SimCheckpoint)
+        _assert_same_result(baseline, Simulator.restore(ck).run())
+
+    def test_checkpoint_every_requires_path(self):
+        with pytest.raises(ValueError):
+            Simulator(_scenario()).run(checkpoint_every=5)
+
+
+class TestStaleCheckpointRejection:
+    def _write_checkpoint(self, tmp_path, **replace):
+        sc = _scenario(steps=8)
+        path = tmp_path / "x.ckpt"
+        Simulator(sc).run(checkpoint_every=3, checkpoint_path=str(path))
+        ck = load_checkpoint(path)
+        if replace:
+            ck = dataclasses.replace(ck, **replace)
+            save_checkpoint(ck, path)
+        return path
+
+    def test_code_version_mismatch_rejected(self, tmp_path):
+        path = self._write_checkpoint(tmp_path, code_version="stale-0")
+        with pytest.raises(ValueError, match="simulator version"):
+            load_checkpoint(path)
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = self._write_checkpoint(tmp_path, schema=999)
+        with pytest.raises(ValueError, match="schema"):
+            load_checkpoint(path)
+
+    def test_not_a_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        with path.open("wb") as f:
+            pickle.dump({"not": "a checkpoint"}, f)
+        with pytest.raises(ValueError):
+            load_checkpoint(path)
+
+    def test_restore_rejects_stale_object(self, tmp_path):
+        good = load_checkpoint(self._write_checkpoint(tmp_path))
+        stale = dataclasses.replace(good, code_version="stale-0")
+        with pytest.raises(ValueError):
+            Simulator.restore(stale)
+        assert CODE_VERSION == good.code_version
+
+
+class TestSweepCheckpointing:
+    def test_run_task_falls_back_on_corrupt_checkpoint(self, tmp_path):
+        sc = _scenario(steps=6)
+        baseline = _run_task((sc, None, False, None, None))
+        bad = tmp_path / "task.ckpt"
+        bad.write_bytes(b"\x80\x04 not a checkpoint")
+        out = _run_task((sc, None, False, str(bad), 3))
+        _assert_same_result(baseline.result, out.result)
+        # Completed task cleans up its checkpoint.
+        assert not bad.exists()
+
+    def test_run_task_ignores_checkpoint_for_other_scenario(self, tmp_path):
+        sc_a = _scenario(steps=6, seed=1)
+        sc_b = _scenario(steps=6, seed=2)
+        path = tmp_path / "mismatch.ckpt"
+        Simulator(sc_a).run(checkpoint_every=2, checkpoint_path=str(path))
+        baseline = _run_task((sc_b, None, False, None, None))
+        out = _run_task((sc_b, None, False, str(path), 2))
+        _assert_same_result(baseline.result, out.result)
+
+    def test_sweep_with_checkpoint_dir_matches_plain(self, tmp_path):
+        grid = [_scenario(steps=6, seed=s) for s in (0, 1)]
+        plain = run_sweep(grid)
+        ckpt = run_sweep(grid, checkpoint_dir=tmp_path, checkpoint_every=2)
+        for a, b in zip(plain, ckpt):
+            _assert_same_result(a, b)
+        # All tasks completed, so no checkpoint files survive.
+        assert list(tmp_path.glob("*.ckpt")) == []

@@ -143,7 +143,9 @@ class TestCache:
         metrics = {"total": lambda r: r.handoff_rate}
         clean = cached_sweep([60], BASE, metrics, seeds=(0,))
         for sc in expand_grid(BASE, [60], seeds=(0,)):
-            bad = tmp_path / f"{scenario_key(sc, 1000)}.pkl"
+            # None resolves to the scenario's own cadence — the same key
+            # the cached_sweep default below computes.
+            bad = tmp_path / f"{scenario_key(sc, None)}.pkl"
             bad.write_bytes(b"\x80\x04garbage")
         poisoned = cached_sweep([60], BASE, metrics, seeds=(0,),
                                 cache_dir=tmp_path)

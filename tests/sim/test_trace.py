@@ -59,6 +59,29 @@ class TestEventTrace:
         t.record(0, "x")
         assert [ev.kind for ev in t] == ["x"]
 
+    def test_saturation_keeps_newest(self):
+        t = EventTrace(capacity=3)
+        for i in range(10):
+            t.record(float(i), "x", i=i)
+        assert [ev.payload["i"] for ev in t] == [7, 8, 9]
+        assert t.dropped == 7
+
+    def test_saturated_jsonl_round_trip(self, tmp_path):
+        t = EventTrace(capacity=4)
+        for i in range(12):
+            t.record(float(i), "migration", node=i)
+        path = tmp_path / "trace.jsonl"
+        t.to_jsonl(path)
+        back = EventTrace.from_jsonl(path)
+        assert [ev.payload["node"] for ev in back] == [8, 9, 10, 11]
+        assert back.dropped == t.dropped == 8
+        assert back.capacity == 4
+        # The restored ring is live, not just a transcript: one more
+        # record evicts the oldest surviving event.
+        back.record(12.0, "migration", node=12)
+        assert [ev.payload["node"] for ev in back] == [9, 10, 11, 12]
+        assert back.dropped == 9
+
 
 class TestSimulatorIntegration:
     def test_trace_collected(self):
