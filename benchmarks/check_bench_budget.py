@@ -1,0 +1,57 @@
+"""Assert the forwarding-fabric kernels stay inside their perf budget.
+
+Reads a pytest-benchmark JSON file (``BENCH_kernels.json`` by default)
+and enforces two ratios:
+
+* full fabric construction (``test_bench_forwarding_fabric``) must stay
+  within ``FABRIC_BUDGET``x of full CHLM assignment
+  (``test_bench_full_assignment``) — before the batched CSR kernels the
+  ratio was ~130x; the budget pins the two-orders-of-magnitude win;
+* one incremental fabric update (``test_bench_fabric_incremental``)
+  must stay within ``INCREMENTAL_BUDGET``x of a simulator step
+  (``test_bench_simulator_step``), the tentpole's steady-state target.
+
+Exit status is non-zero on violation, so CI fails the build.
+
+Usage: ``python benchmarks/check_bench_budget.py [BENCH_kernels.json]``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+FABRIC_BUDGET = 25.0
+INCREMENTAL_BUDGET = 2.0
+
+
+def mean_of(benchmarks: list[dict], name: str) -> float:
+    for b in benchmarks:
+        if b["name"] == name:
+            return float(b["stats"]["mean"])
+    raise SystemExit(f"benchmark {name!r} missing from results")
+
+
+def main(path: str) -> int:
+    with open(path) as f:
+        benchmarks = json.load(f)["benchmarks"]
+    checks = [
+        ("test_bench_forwarding_fabric", "test_bench_full_assignment",
+         FABRIC_BUDGET),
+        ("test_bench_fabric_incremental", "test_bench_simulator_step",
+         INCREMENTAL_BUDGET),
+    ]
+    failed = False
+    for name, baseline, budget in checks:
+        t, ref = mean_of(benchmarks, name), mean_of(benchmarks, baseline)
+        ratio = t / ref
+        status = "OK" if ratio <= budget else "FAIL"
+        if ratio > budget:
+            failed = True
+        print(f"{status}: {name} {t * 1e3:.1f} ms = {ratio:.1f}x {baseline} "
+              f"(budget {budget:.0f}x)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernels.json"))

@@ -24,7 +24,9 @@ import numpy as np
 from repro.core import HandoffEngine, resolve
 from repro.graphs import CompactGraph
 from repro.hierarchy.levels import ClusteredHierarchy, build_hierarchy
+from repro.radio.linkevents import LinkTracker
 from repro.radio.unit_disk import unit_disk_edges
+from repro.routing.fabric_cache import FabricCache
 from repro.routing.forwarding import ForwardingFabric
 
 __all__ = ["SessionResult", "MessagingService"]
@@ -54,16 +56,24 @@ class MessagingService:
         Population size, unit-disk radius, hierarchy depth cap.
     hash_fn:
         CHLM hash forwarded to the handoff engine.
+    incremental:
+        When True (default) the forwarding fabric is maintained across
+        steps by a :class:`~repro.routing.fabric_cache.FabricCache` fed
+        with the step's link events, instead of being rebuilt from
+        scratch per snapshot.  Results are bit-identical either way.
     """
 
     def __init__(self, n: int, r_tx: float, max_levels: int | None = None,
-                 hash_fn: str = "rendezvous"):
+                 hash_fn: str = "rendezvous", incremental: bool = True):
         if n <= 1 or r_tx <= 0:
             raise ValueError("need n > 1 and a positive radius")
         self.n = int(n)
         self.r_tx = float(r_tx)
         self.max_levels = max_levels
+        self.incremental = bool(incremental)
         self._engine = HandoffEngine(hash_fn=hash_fn)
+        self._tracker = LinkTracker(self.n)
+        self._fabric_cache = FabricCache()
         self._hierarchy: ClusteredHierarchy | None = None
         self._fabric: ForwardingFabric | None = None
         self._graph: CompactGraph | None = None
@@ -96,7 +106,11 @@ class MessagingService:
         self._engine.observe(h, hop_fn)
         self._hierarchy = h
         self._graph = CompactGraph(np.arange(self.n), edges)
-        self._fabric = ForwardingFabric(h, self._graph)
+        if self.incremental:
+            diff = self._tracker.observe(edges)
+            self._fabric = self._fabric_cache.update(h, self._graph, diff)
+        else:
+            self._fabric = ForwardingFabric(h, self._graph)
 
     def send(self, s: int, d: int, hop_fn) -> SessionResult:
         """Attempt one session from ``s`` to ``d``.

@@ -1,5 +1,12 @@
 """Routing substrate: strict hierarchical routing and the flat baseline."""
 
+from repro.routing.bfs_kernels import (
+    deque_next_hop,
+    flood_rows_safe,
+    labeled_next_hop,
+    single_next_hop,
+)
+from repro.routing.fabric_cache import FabricCache, FabricCacheStats
 from repro.routing.flat import FlatRouter
 from repro.routing.forwarding import ForwardingFabric, ForwardingTable, ForwardResult
 from repro.routing.strict import HierarchicalRouter
@@ -10,11 +17,17 @@ from repro.routing.tables import (
 )
 
 __all__ = [
+    "FabricCache",
+    "FabricCacheStats",
     "FlatRouter",
     "ForwardingFabric",
     "ForwardingTable",
     "ForwardResult",
     "HierarchicalRouter",
+    "deque_next_hop",
+    "flood_rows_safe",
+    "labeled_next_hop",
+    "single_next_hop",
     "flat_table_size",
     "hierarchical_table_size",
     "hierarchical_table_sizes",

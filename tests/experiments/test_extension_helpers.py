@@ -4,6 +4,7 @@ import pytest
 
 from repro.experiments.e_a6_query_staleness import _one_run as staleness_run
 from repro.experiments.e_a7_state_stretch import _measure as stretch_measure
+from repro.experiments.e_a7_state_stretch import _measure_steady as steady_measure
 from repro.experiments.e_t8_gls_vs_chlm import _one_run as gls_run
 
 
@@ -31,6 +32,16 @@ class TestStretchHelper:
         deep = stretch_measure(n=150, L=4, seed=1, pairs=60)
         shallow = stretch_measure(n=150, L=1, seed=1, pairs=60)
         assert shallow["state"] > deep["state"]
+
+    def test_steady_state_measures(self):
+        m = steady_measure(n=120, L=3, seed=0, steps=4, pairs=30)
+        assert m["delivery"] > 0.85
+        assert 1.0 <= m["stretch_mean"] < 2.5
+        assert 0 < m["state"] < 120 - 1
+        # Only the baseline snapshot builds from scratch; later steps
+        # reuse at least some flood rows.
+        assert m["full_rebuilds"] == 1
+        assert m["rows_reused_frac"] > 0
 
 
 class TestGlsComparisonHelper:
