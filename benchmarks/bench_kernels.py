@@ -150,6 +150,24 @@ def test_bench_simulator_step(benchmark):
     assert res.elapsed > 0
 
 
+def test_bench_chaos_step(benchmark):
+    """Same step with the full chaos stack live — an active crash
+    episode, a partition cut, and per-step invariant checking.  The
+    budget gate holds this within CHAOS_BUDGET x of the plain step."""
+    from repro.sim import Scenario, Simulator
+
+    sc = Scenario(n=400, steps=1, warmup=0, speed=1.0, hop_mode="euclidean",
+                  max_levels=3, seed=0,
+                  chaos=("crash:rate=0.02,repair=10",
+                         "partition:start=0,duration=100,angle=0.7"))
+
+    def one_run():
+        return Simulator(sc, hop_sample_every=10_000).run()
+
+    res = benchmark.pedantic(one_run, rounds=3, iterations=1, warmup_rounds=1)
+    assert res.extras["chaos"] is not None
+
+
 def test_bench_simulator_step_profiled(benchmark):
     """Same step with phase timers on — tracks the instrumentation
     overhead (acceptance: within 5% of the plain step)."""

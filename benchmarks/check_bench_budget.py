@@ -9,7 +9,11 @@ and enforces two ratios:
   ratio was ~130x; the budget pins the two-orders-of-magnitude win;
 * one incremental fabric update (``test_bench_fabric_incremental``)
   must stay within ``INCREMENTAL_BUDGET``x of a simulator step
-  (``test_bench_simulator_step``), the tentpole's steady-state target.
+  (``test_bench_simulator_step``), the tentpole's steady-state target;
+* a fully chaotic step (``test_bench_chaos_step``: active crash
+  episode + partition cut + per-step invariant checking) must stay
+  within ``CHAOS_BUDGET``x of the plain step — fault injection and
+  invariant checking must never dominate the simulation itself.
 
 Exit status is non-zero on violation, so CI fails the build.
 
@@ -23,6 +27,7 @@ import sys
 
 FABRIC_BUDGET = 25.0
 INCREMENTAL_BUDGET = 2.0
+CHAOS_BUDGET = 2.0
 
 
 def mean_of(benchmarks: list[dict], name: str) -> float:
@@ -40,6 +45,8 @@ def main(path: str) -> int:
          FABRIC_BUDGET),
         ("test_bench_fabric_incremental", "test_bench_simulator_step",
          INCREMENTAL_BUDGET),
+        ("test_bench_chaos_step", "test_bench_simulator_step",
+         CHAOS_BUDGET),
     ]
     failed = False
     for name, baseline, budget in checks:

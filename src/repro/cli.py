@@ -6,6 +6,8 @@
     python -m repro experiment EXP-T4 [--full] [--seeds 0,1]
     python -m repro simulate --n 300 --steps 60 --speed 1.5 [--trace]
     python -m repro simulate --n 300 --checkpoint run.ckpt --checkpoint-every 20
+    python -m repro simulate --n 300 --chaos partition:start=30,duration=20 \\
+        --chaos-report chaos.json
     python -m repro resume run.ckpt
     python -m repro sweep --ns 200,400,800 --seeds 0,1,2 --workers 4
     python -m repro profile --ns 200,400 --seeds 0,1 [--manifest runs.jsonl]
@@ -71,6 +73,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--retry-attempts", type=int, default=4,
                        help="max delivery attempts per control message "
                             "when --loss-rate > 0 (default 4)")
+    p_sim.add_argument("--chaos", action="append", default=None,
+                       metavar="SPEC",
+                       help="schedule a fault episode (repeatable); SPEC is "
+                            "kind:key=value,... e.g. "
+                            "'crash:start=10,duration=5,rate=0.02' or "
+                            "'partition:start=30,duration=20,angle=1.57' or "
+                            "'burst:start=5,duration=10,rate=0.3' "
+                            "(see repro.faults.parse_episode)")
+    p_sim.add_argument("--invariant-mode", default="auto",
+                       choices=["auto", "count", "strict", "off"],
+                       help="hierarchy invariant checking: auto enables "
+                            "counting whenever faults are injected; strict "
+                            "raises on the first violation (default auto)")
+    p_sim.add_argument("--chaos-report", default=None, metavar="PATH",
+                       help="write the chaos report (invariant series, "
+                            "episode SLOs) to this path as JSON")
     p_sim.add_argument("--trace", action="store_true",
                        help="print the tail of the event trace")
     p_sim.add_argument("--profile", action="store_true",
@@ -216,6 +234,7 @@ def _cmd_list() -> int:
         "EXP-A8": "extension — degree sensitivity (magic number)",
         "EXP-A9": "extension — end-to-end sessions on the full stack",
         "EXP-A10": "extension — lossy control plane (retries, staleness)",
+        "EXP-A11": "extension — chaos episodes, invariants, recovery SLOs",
     }
     for eid in ALL_EXPERIMENTS:
         print(f"{eid:8s} {titles.get(eid, '')}")
@@ -264,6 +283,7 @@ def _cmd_simulate(args) -> int:
         seed=args.seed, max_levels=levels, mobility=args.mobility,
         election_mode=args.election, hop_mode=args.hops,
         loss_rate=args.loss_rate, retry_attempts=args.retry_attempts,
+        chaos=tuple(args.chaos or ()), invariant_mode=args.invariant_mode,
     )
     if args.preset:
         from repro.sim import make_scenario
@@ -296,6 +316,19 @@ def _cmd_simulate(args) -> int:
 
         path = RunManifest.from_result(res).write(args.manifest)
         print(f"manifest written to {path}")
+    if args.chaos_report:
+        chaos = res.extras.get("chaos")
+        if chaos is None:
+            print("--chaos-report: run collected no chaos data "
+                  "(is invariant checking off?)", file=sys.stderr)
+            return 2
+        import dataclasses
+        import json
+
+        with open(args.chaos_report, "w") as fh:
+            json.dump(dataclasses.asdict(chaos), fh, indent=2)
+            fh.write("\n")
+        print(f"chaos report written to {args.chaos_report}")
     return 0
 
 
@@ -322,6 +355,22 @@ def _print_run(res, show_trace=False, trace_jsonl=None, show_profile=False):
         print(f"  mean recovery  = {res.ledger.mean_recovery_time:.2f} s "
               f"({res.ledger.recovered_entries} recovered, "
               f"{res.ledger.abandoned_entries} abandoned)")
+    chaos = res.extras.get("chaos")
+    if chaos is not None:
+        ttr = chaos.max_time_to_reconverge()
+        print(f"  invariants   = {chaos.total_violations} violations "
+              f"(peak {chaos.peak_violations}/step)")
+        print(f"  chaos        = peak {chaos.peak_down} nodes down, "
+              f"max stale window {chaos.max_stale_window} steps, "
+              f"reconverge "
+              f"{'n/a' if ttr is None else f'{ttr:.1f} s'}")
+        for ep in chaos.episodes:
+            t = ep.time_to_reconverge
+            print(f"    episode {ep.index} ({ep.kind}) "
+                  f"[{ep.start:g}, {ep.end:g}): "
+                  f"peak {ep.peak_violations} violations, "
+                  f"{ep.peak_down} down, recovery "
+                  f"{'not reached' if t is None else f'{t:.1f} s'}")
     if show_trace and res.trace is not None:
         print("\nevent trace (last 20):")
         for line in res.trace.to_lines(limit=20):

@@ -16,6 +16,7 @@ from repro.experiments import (
     e_a8_magic_number,
     e_a9_end_to_end,
     e_a10_lossy_control,
+    e_a11_chaos,
     e_f1_hierarchy,
     e_f2_gls_grid,
     e_f3_alca_states,
@@ -56,6 +57,7 @@ ALL_EXPERIMENTS = {
     "EXP-A8": e_a8_magic_number.run,
     "EXP-A9": e_a9_end_to_end.run,
     "EXP-A10": e_a10_lossy_control.run,
+    "EXP-A11": e_a11_chaos.run,
 }
 
 __all__ = ["ExperimentResult", "ALL_EXPERIMENTS"]

@@ -1,0 +1,119 @@
+"""EXP-A11 (extension) — chaos episodes and recovery SLOs.
+
+The paper's steady-state analysis assumes the hierarchy exists and is
+reachable; it never quantifies what a *structural* fault costs — a
+clusterhead decapitation, a geographic partition, a burst of control
+loss.  This extension drives the same simulator through scheduled fault
+episodes (:mod:`repro.faults.chaos`) and measures the question the
+analysis leaves open: how long until the location management structure
+*reconverges*, and what breaks while it is down?
+
+Four regimes share one deployment:
+
+* **control** — no faults; what the invariant checker still counts is
+  the *natural fragmentation baseline* (mobility occasionally strands a
+  node, taking its location-DB pointers out of reach) that the fault
+  regimes are read against;
+* **ch-kill** — a one-shot kill of several level-1 clusterheads, the
+  reorganization case of the paper's handoff taxonomy, forced;
+* **partition** — a cut line severs the disc for a window, stranding
+  every cross-cut location-DB pointer until the cut heals;
+* **burst** — a loss window on top of the PR-2 delivery model, stressing
+  registration delivery without touching the graph.
+
+Per regime the table reports total/peak invariant violations, peak
+simultaneously-down nodes, measured time-to-reconverge after the last
+episode ends, the longest stale-location window, and end-to-end query
+success.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.faults import CrashEpisode, LossBurstEpisode, PartitionEpisode
+from repro.sim import Scenario, run_scenario
+
+__all__ = ["run"]
+
+
+def _scenario(n, steps, seed, chaos):
+    # Dense deployment: keeps the natural-fragmentation baseline small
+    # relative to the fault signal (it cannot be driven to zero — one
+    # stray node strands every pointer it serves).
+    return Scenario(
+        n=n, steps=steps, warmup=5, speed=1.5, seed=seed,
+        max_levels=3, target_degree=12.0, hop_mode="euclidean",
+        queries_per_step=8, retry_attempts=2, loss_rate=0.02,
+        chaos=chaos, invariant_mode="count",
+    )
+
+
+def run(quick: bool = True, seeds=(0, 1)) -> ExperimentResult:
+    """Run this experiment; returns the printable table (see module docstring)."""
+    n = 150 if quick else 400
+    steps = 30 if quick else 80
+
+    regimes = [
+        ("control", ()),
+        ("ch-kill", (
+            CrashEpisode(start=8.0, duration=1.0, count=4,
+                         targets="clusterheads", repair_time=8.0),
+        )),
+        ("partition", (
+            PartitionEpisode(start=8.0, duration=10.0, angle=0.4),
+        )),
+        ("burst", (
+            LossBurstEpisode(start=8.0, duration=8.0, rate=0.45),
+        )),
+    ]
+
+    result = ExperimentResult(
+        exp_id="EXP-A11",
+        title="Extension: chaos episodes, invariant violations, recovery SLOs",
+        columns=["regime", "violations", "peak", "peak down",
+                 "reconverge (s)", "stale window", "query success"],
+    )
+    for name, chaos in regimes:
+        totals, peaks, downs, ttrs, stales, succ = [], [], [], [], [], []
+        for seed in seeds:
+            res = run_scenario(_scenario(n, steps, seed, chaos),
+                               hop_sample_every=10_000)
+            rep = res.extras["chaos"]
+            totals.append(rep.total_violations)
+            peaks.append(rep.peak_violations)
+            downs.append(rep.peak_down)
+            ttr = rep.max_time_to_reconverge()
+            if ttr is None:
+                # Control: nothing to recover from.  Fault regime: the
+                # run ended still broken — report an infinite SLO.
+                ttr = np.inf if chaos else 0.0
+            ttrs.append(ttr)
+            stales.append(rep.max_stale_window)
+            succ.append(res.query_success_rate or 0.0)
+        result.add_row(
+            name,
+            round(float(np.mean(totals)), 1),
+            round(float(np.mean(peaks)), 1),
+            round(float(np.mean(downs)), 1),
+            round(float(np.mean(ttrs)), 1),
+            round(float(np.mean(stales)), 1),
+            f"{float(np.mean(succ)):.3f}",
+        )
+    result.add_note(
+        "Finding: every fault regime reconverges in finite time once its "
+        "episode ends — the hierarchy is self-healing, as the memoryless "
+        "re-election argument predicts.  But the *location layer* lags "
+        "the hierarchy: partitions strand cross-cut server pointers for "
+        "the whole cut (violations track the cut window, not the "
+        "re-election time), and bursts stretch the stale-location window "
+        "far past the loss window itself.  Read fault rows against the "
+        "control row: its nonzero count is the mobility-induced "
+        "fragmentation baseline, not an injected fault."
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

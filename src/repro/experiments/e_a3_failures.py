@@ -8,6 +8,14 @@ a fixed downtime.  Each crash of a clusterhead forces exactly the
 reorganization handoff the paper's taxonomy describes; the experiment
 measures how fast the excluded effect grows with the failure rate, and
 at what rate it starts to rival mobility-induced handoff.
+
+The crash model behind ``failure_rate`` is now served by the chaos
+engine (``repro.faults.chaos``): the scenario field expands to a
+whole-run ``CrashEpisode`` on the historical ``"failures"`` RNG
+stream, so this experiment's numbers are unchanged — they are frozen
+bit-for-bit in ``tests/sim/test_chaos_equivalence.py``.  EXP-A11
+generalizes the model to scheduled episodes, partitions, and loss
+bursts with invariant checking and recovery SLOs.
 """
 
 from __future__ import annotations

@@ -13,23 +13,57 @@ packet is delivered.  This package drops that assumption:
 * :func:`expanding_ring_cost` / :class:`QueryLedger` — the metered
   fallback path for queries that hit stale or abandoned state.
 
+The chaos layer builds on that plane:
+
+* :mod:`repro.faults.chaos` — a declarative, seed-deterministic
+  :class:`FaultSchedule` of timed episodes (crash/recover, targeted
+  clusterhead kills, geographic partitions, burst-loss windows) and the
+  :class:`ChaosEngine` that injects them into the simulator pipeline,
+* :mod:`repro.faults.invariants` — per-step hierarchy invariant
+  checking (:func:`check_invariants`), feeding the recovery-SLO layer
+  (:class:`repro.sim.collectors.ChaosCollector`).
+
 Zero loss with retries disabled is an exact no-op: every meter then
 produces bit-identical numbers to the pre-fault engine (tested by
-``tests/sim/test_lossy_equivalence.py``).  See ``docs/ROBUSTNESS.md``.
+``tests/sim/test_lossy_equivalence.py``); likewise an empty fault
+schedule is bit-identical to a chaos-free run
+(``tests/sim/test_chaos_equivalence.py``).  See ``docs/ROBUSTNESS.md``.
 """
 
+from repro.faults.chaos import (
+    ChaosEngine,
+    CrashEpisode,
+    FaultSchedule,
+    LossBurstEpisode,
+    PartitionEpisode,
+    parse_episode,
+)
 from repro.faults.delivery import Delivery, DeliveryEngine, FaultStats
 from repro.faults.fallback import QueryLedger, expanding_ring_cost
+from repro.faults.invariants import (
+    InvariantReport,
+    InvariantViolationError,
+    check_invariants,
+)
 from repro.faults.loss import MAX_HOP_LOSS, LossModel
 from repro.faults.retry import RetryPolicy
 
 __all__ = [
+    "ChaosEngine",
+    "CrashEpisode",
     "Delivery",
     "DeliveryEngine",
+    "FaultSchedule",
     "FaultStats",
+    "InvariantReport",
+    "InvariantViolationError",
+    "LossBurstEpisode",
     "LossModel",
     "MAX_HOP_LOSS",
+    "PartitionEpisode",
     "QueryLedger",
     "RetryPolicy",
+    "check_invariants",
     "expanding_ring_cost",
+    "parse_episode",
 ]

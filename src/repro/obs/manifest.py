@@ -81,6 +81,26 @@ class RunManifest:
         from repro.sim.sweep import CODE_VERSION, normalize_for_json, scenario_key
 
         timings = getattr(res, "timings", None)
+        metrics = {
+            "phi": float(res.phi),
+            "gamma": float(res.gamma),
+            "handoff_rate": float(res.handoff_rate),
+            "f0": float(res.f0),
+            "mean_degree": float(res.mean_degree),
+            "giant_fraction": float(res.giant_fraction),
+            "elapsed_sim_seconds": float(res.elapsed),
+        }
+        if res.query_success_rate is not None:
+            metrics["query_success_rate"] = float(res.query_success_rate)
+        chaos = getattr(res, "extras", {}).get("chaos")
+        if chaos is not None:
+            ttr = chaos.max_time_to_reconverge()
+            metrics["invariant_violations"] = int(chaos.total_violations)
+            metrics["peak_invariant_violations"] = int(chaos.peak_violations)
+            metrics["peak_down_nodes"] = int(chaos.peak_down)
+            metrics["max_stale_window_steps"] = int(chaos.max_stale_window)
+            if ttr is not None:
+                metrics["max_time_to_reconverge"] = float(ttr)
         return cls(
             scenario_key=scenario_key(res.scenario, hop_sample_every),
             code_version=CODE_VERSION,
@@ -88,15 +108,7 @@ class RunManifest:
             platform=_platform_info(),
             wall_seconds=float(timings.wall_seconds) if timings else 0.0,
             phases=dict(timings.totals) if timings else {},
-            metrics={
-                "phi": float(res.phi),
-                "gamma": float(res.gamma),
-                "handoff_rate": float(res.handoff_rate),
-                "f0": float(res.f0),
-                "mean_degree": float(res.mean_degree),
-                "giant_fraction": float(res.giant_fraction),
-                "elapsed_sim_seconds": float(res.elapsed),
-            },
+            metrics=metrics,
         )
 
     # -- serialization ------------------------------------------------------------

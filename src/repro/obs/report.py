@@ -115,6 +115,38 @@ class SweepReport:
             n: t.mean_per_step() for n, t in sorted(merged.items()) if t.steps
         }
 
+    def invariant_summary(self) -> dict[str, int]:
+        """Aggregate hierarchy-invariant violations across results.
+
+        Scans each result's chaos report (``extras["chaos"]``, attached
+        by the :class:`~repro.sim.collectors.chaos.ChaosCollector`) and
+        returns ``{"checked": ..., "flagged": ..., "violations": ...}``
+        — how many runs were invariant-checked, how many of those had at
+        least one violation, and the violation total.  All zeros when no
+        run in the sweep carried a chaos report.
+        """
+        checked = flagged = violations = 0
+        for res in self.results:
+            chaos = getattr(res, "extras", {}).get("chaos")
+            if chaos is None:
+                continue
+            checked += 1
+            total = int(chaos.total_violations)
+            violations += total
+            if total:
+                flagged += 1
+        return {
+            "checked": checked, "flagged": flagged, "violations": violations
+        }
+
+    def flagged_results(self) -> list:
+        """Results whose hierarchy invariants were violated at least once."""
+        return [
+            res for res in self.results
+            if getattr(res, "extras", {}).get("chaos") is not None
+            and getattr(res, "extras", {})["chaos"].total_violations > 0
+        ]
+
     # -- rendering ----------------------------------------------------------------
 
     def to_lines(self) -> list[str]:
@@ -137,6 +169,12 @@ class SweepReport:
             lines.append(
                 f"faults     {self.retries} retried-then-succeeded, "
                 f"{len(self.errors)} failed ({counts})"
+            )
+        inv = self.invariant_summary()
+        if inv["checked"]:
+            lines.append(
+                f"invariants {inv['flagged']}/{inv['checked']} checked runs"
+                f" with violations ({inv['violations']} total)"
             )
         phases = self.per_n_phases()
         if phases:

@@ -57,6 +57,8 @@ class FabricCacheStats:
 
     updates: int = 0
     full_rebuilds: int = 0
+    mass_invalidations: int = 0
+    explicit_invalidations: int = 0
     records_reused: int = 0
     records_dropped: int = 0
     rows_reused: int = 0
@@ -83,9 +85,29 @@ class FabricCache:
 
     mode: str = "vectorized"
     l0_cache_entries: int = L0_CACHE_ENTRIES
+    mass_invalidate_fraction: float = 1.0
+    """Link-event budget before incremental carry is abandoned: when a
+    step's diff carries more than this fraction of the node count in
+    up/down events (a mass crash, a dense partition severing or healing
+    at once), nearly every flood row fails the safety rules anyway —
+    the per-record scan costs more than the rebuild it avoids, so the
+    cache rebuilds from scratch instead.  Carry is *correct* at any
+    diff size (the rules are conservative); this is purely a cost
+    cutoff.  Set to ``inf`` to always carry."""
     fabric: ForwardingFabric | None = None
     stats: FabricCacheStats = field(default_factory=FabricCacheStats)
     _h: ClusteredHierarchy | None = field(default=None, repr=False)
+
+    def invalidate(self) -> None:
+        """Drop all cached flood state; the next ``update()`` rebuilds.
+
+        Call when topology changed through a channel the link diff does
+        not describe (e.g. restoring external state).  Safe at any time
+        — a rebuild is always bit-identical to a carry."""
+        if self.fabric is not None or self._h is not None:
+            self.stats.explicit_invalidations += 1
+        self.fabric = None
+        self._h = None
 
     def update(self, h: ClusteredHierarchy, g: CompactGraph,
                diff: LinkDiff | None = None) -> ForwardingFabric:
@@ -93,12 +115,20 @@ class FabricCache:
 
         Reuses every flood record the step's link events and cluster
         changes provably left bit-identical; the previous fabric must
-        not be used afterwards (array ownership transfers).
+        not be used afterwards (array ownership transfers).  Oversized
+        diffs (see ``mass_invalidate_fraction``) rebuild eagerly.
         """
         prev, prev_h = self.fabric, self._h
         self.stats.updates += 1
+        massive = (
+            diff is not None
+            and len(diff.ups) + len(diff.downs)
+            > self.mass_invalidate_fraction * g.node_ids.size
+        )
+        if massive and prev is not None:
+            self.stats.mass_invalidations += 1
         fresh = (
-            prev is None or prev_h is None or diff is None
+            prev is None or prev_h is None or diff is None or massive
             or self.mode != "vectorized" or prev.mode != "vectorized"
             or not np.array_equal(prev.g0.node_ids, g.node_ids)
             or prev_h.num_levels != h.num_levels

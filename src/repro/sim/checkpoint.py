@@ -4,7 +4,8 @@ A :class:`SimCheckpoint` freezes *everything* a mid-run simulator needs
 to continue bit-identically: the mobility model (positions, waypoints,
 and its RNG), the handoff engine's assignment/staleness state, the
 maintainer (sticky/persistent elections), the delivery engine, the
-failure state and RNG, and every collector object (which carry their
+chaos engine (crash deadlines, episode state, and its RNG streams),
+and every collector object (which carry their
 own RNG streams).  All of it is pickled as one object, so references
 shared between components — e.g. the delivery engine held by both the
 simulator and the query collector — stay shared after restore.
@@ -21,14 +22,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-import numpy as np
-
 from repro.sim.scenario import Scenario
 
 __all__ = ["CHECKPOINT_SCHEMA", "SimCheckpoint"]
 
-CHECKPOINT_SCHEMA = 1
-"""On-disk checkpoint layout version (bumped when fields change shape)."""
+CHECKPOINT_SCHEMA = 2
+"""On-disk checkpoint layout version (bumped when fields change shape).
+
+Schema 2 replaced the ``down_until`` / ``now`` / ``failure_rng``
+triplet with the ``chaos`` engine object; schema-1 checkpoints are
+refused at load time (:func:`repro.persist.load_checkpoint`)."""
 
 
 @dataclass
@@ -59,12 +62,10 @@ class SimCheckpoint:
         Sticky/persistent hierarchy maintainer, or None (memoryless).
     delivery:
         The lossy-control :class:`~repro.faults.DeliveryEngine`, or None.
-    down_until:
-        Per-node repair deadlines of the crash/repair process.
-    now:
-        Simulated failure-process clock.
-    failure_rng:
-        The crash-sampling RNG stream.
+    chaos:
+        The :class:`~repro.faults.ChaosEngine` (crash deadlines, chaos
+        clock, fired-episode state, both RNG streams), or None when the
+        run injects no faults.
     prev_hierarchy:
         Last step's hierarchy (address-diff reference for collectors).
     collectors:
@@ -87,9 +88,7 @@ class SimCheckpoint:
     engine: Any
     maintainer: Any
     delivery: Any
-    down_until: np.ndarray
-    now: float
-    failure_rng: Any
+    chaos: Any
     prev_hierarchy: Any
     collectors: list
     timings: Any = None

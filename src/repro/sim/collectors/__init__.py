@@ -26,6 +26,7 @@ resume for free as long as their state is picklable.
 """
 
 from repro.sim.collectors.base import Collector
+from repro.sim.collectors.chaos import ChaosCollector, ChaosReport, EpisodeSLO
 from repro.sim.collectors.ledger import LedgerCollector
 from repro.sim.collectors.levels import LevelSeriesCollector
 from repro.sim.collectors.links import LinkEventCollector
@@ -35,7 +36,10 @@ from repro.sim.collectors.states import StateCollector
 from repro.sim.collectors.tracing import TraceCollector
 
 __all__ = [
+    "ChaosCollector",
+    "ChaosReport",
     "Collector",
+    "EpisodeSLO",
     "LedgerCollector",
     "LinkEventCollector",
     "LevelSeriesCollector",

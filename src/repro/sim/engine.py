@@ -82,27 +82,43 @@ class Simulator:
             from repro.obs.timers import StepTimings
 
             self.timings = StepTimings()
-        # "faults" and "queries" are spawned last: SeedSequence.spawn is
-        # prefix-stable, so pre-fault scenarios replay bit-identically.
+        # "faults", "queries", and "chaos" were appended in that order:
+        # SeedSequence.spawn is prefix-stable, so pre-existing scenarios
+        # replay bit-identically.
         rngs = spawn_rngs(
             scenario.seed,
-            ["placement", "mobility", "sampling", "failures", "faults", "queries"],
+            ["placement", "mobility", "sampling", "failures", "faults",
+             "queries", "chaos"],
         )
-        self._failure_rng = rngs["failures"]
-        # Lossy control plane (EXP-A10): built only when the scenario
-        # asks for loss, so lossless runs never touch the fault path.
+        # Fault schedule (repro.faults.chaos): crash/recover, targeted
+        # kills, partitions, burst loss.  The legacy failure_rate field
+        # rides the same engine as a whole-run episode on the historical
+        # "failures" stream; with no fault injection at all the engine
+        # is never built and the pipeline is bit-identical to the
+        # chaos-free simulator.
+        schedule = scenario.fault_schedule()
+        self._chaos = None
+        if schedule:
+            from repro.faults import ChaosEngine
+
+            self._chaos = ChaosEngine(
+                scenario.n, schedule, rngs["chaos"],
+                legacy_rng=rngs["failures"],
+            )
+        # Lossy control plane (EXP-A10): built when the scenario asks
+        # for loss — or schedules burst-loss windows — so lossless runs
+        # never touch the fault path.
         self._delivery = None
-        if scenario.faults_enabled:
+        self._base_loss = None
+        if scenario.faults_enabled or schedule.needs_delivery:
             from repro.faults import DeliveryEngine
 
+            self._base_loss = scenario.loss_model()
             self._delivery = DeliveryEngine(
-                loss=scenario.loss_model(),
+                loss=self._base_loss,
                 retry=scenario.retry_policy(),
                 rng=rngs["faults"],
             )
-        # Crash/repair state: time until which each node stays down.
-        self._down_until = np.full(scenario.n, -np.inf)
-        self._now = 0.0
         # The mobility model also owns initial placement; hand it the
         # placement stream first so placement is independent of stepping.
         self.model = make_model(
@@ -174,34 +190,29 @@ class Simulator:
             out.append(TraceCollector(self.trace))
         out.append(LevelSeriesCollector(n=sc.n))
         out.append(HopSampleCollector(rngs["sampling"], self.hop_sample_every))
+        if sc.resolved_invariant_mode != "off":
+            from repro.sim.collectors import ChaosCollector
+
+            query_ledgers = [c.ledger for c in out
+                             if isinstance(c, QueryCollector)]
+            out.append(ChaosCollector(
+                self._chaos.schedule if self._chaos else None,
+                mode=sc.resolved_invariant_mode,
+                ledger=query_ledgers[0] if query_ledgers else None,
+                slo_success_threshold=sc.slo_success_threshold,
+                slo_window=sc.slo_window,
+            ))
         return out
 
     # -- helpers ------------------------------------------------------------------
 
-    def _advance_failures(self, dt: float) -> None:
-        """Crash up-nodes at the configured rate (crashed nodes keep
-        their identity but lose all links until repaired)."""
-        self._now += dt
-        if self.sc.failure_rate <= 0:
-            return
-        up = self._down_until < self._now
-        p = -np.expm1(-self.sc.failure_rate * dt)
-        crashing = up & (self._failure_rng.random(self.sc.n) < p)
-        if np.any(crashing):
-            self._down_until[crashing] = self._now + self.sc.repair_time
-
-    def _apply_failures(self, edges: np.ndarray) -> np.ndarray:
-        if self.sc.failure_rate <= 0 or edges.size == 0:
-            return edges
-        down = self._down_until >= self._now
-        if not np.any(down):
-            return edges
-        keep = ~(down[edges[:, 0]] | down[edges[:, 1]])
-        return edges[keep]
-
     def _edges(self, positions: np.ndarray) -> np.ndarray:
-        """Unit-disk rebuild (k-d tree) plus crash filtering."""
-        return self._apply_failures(unit_disk_edges(positions, self.sc.r_tx))
+        """Unit-disk rebuild (k-d tree) plus chaos filtering (crashed
+        nodes and partition-severed links removed)."""
+        edges = unit_disk_edges(positions, self.sc.r_tx)
+        if self._chaos is not None:
+            edges = self._chaos.filter_edges(edges, positions)
+        return edges
 
     def _elect(self, positions: np.ndarray, edges: np.ndarray):
         """Hierarchy (re-)election on the current topology."""
@@ -250,6 +261,7 @@ class Simulator:
             t=0.0, step=-1, positions=positions, edges=edges,
             hierarchy=hierarchy, prev_hierarchy=None, report=None,
             hop_fn=hop_fn, scenario=sc, assignment=self._engine.assignment,
+            down=None if self._chaos is None else self._chaos.down_mask(),
         )
         for c in self._collectors:
             c.on_start(snap)
@@ -263,7 +275,13 @@ class Simulator:
         dispatch its snapshot to the collectors."""
         sc = self.sc
         self.model.step(sc.dt)
-        self._advance_failures(sc.dt)
+        if self._chaos is not None:
+            # Clock first, then sampling (the historical ordering);
+            # clusterhead targeting reads the previous step's hierarchy
+            # — the heads the network currently depends on.
+            self._chaos.advance(sc.dt, self._prev_hierarchy)
+            if self._delivery is not None:
+                self._delivery.loss = self._chaos.loss_model(self._base_loss)
         positions = self.model.positions.copy()
         if mark is not None:
             mark("mobility")
@@ -283,6 +301,7 @@ class Simulator:
             edges=edges, hierarchy=hierarchy,
             prev_hierarchy=self._prev_hierarchy, report=report,
             hop_fn=hop_fn, scenario=sc, assignment=self._engine.assignment,
+            down=None if self._chaos is None else self._chaos.down_mask(),
         )
         if mark is not None:
             mark("handoff")
@@ -386,7 +405,8 @@ class Simulator:
         With ``path``, the checkpoint is also written atomically via
         :func:`repro.persist.save_checkpoint`.  Everything needed for a
         bit-identical continuation is captured: mobility model + RNG,
-        handoff/maintainer/delivery state, failure state + RNG, and the
+        handoff/maintainer/delivery state, the chaos engine (crash
+        deadlines, episode state, and both its RNG streams), and the
         collector objects (with their own RNG streams).
         """
         from repro.sim.sweep import CODE_VERSION
@@ -401,9 +421,7 @@ class Simulator:
             engine=self._engine,
             maintainer=self._maintainer,
             delivery=self._delivery,
-            down_until=self._down_until,
-            now=self._now,
-            failure_rng=self._failure_rng,
+            chaos=self._chaos,
             prev_hierarchy=self._prev_hierarchy,
             collectors=self._collectors,
             timings=self.timings,
@@ -444,10 +462,12 @@ class Simulator:
         sim.hop_sample_every = ck.hop_sample_every
         sim.trace = ck.trace
         sim.timings = ck.timings
-        sim._failure_rng = ck.failure_rng
         sim._delivery = ck.delivery
-        sim._down_until = ck.down_until
-        sim._now = ck.now
+        sim._chaos = ck.chaos
+        # Derived from the scenario, not checkpointed state.
+        sim._base_loss = (
+            ck.scenario.loss_model() if ck.delivery is not None else None
+        )
         sim.model = ck.model
         sim._maintainer = ck.maintainer
         sim._engine = ck.engine

@@ -102,6 +102,25 @@ class Scenario:
         Location queries sampled per metered step (random s-d pairs,
         resolved through the lossy stack with expanding-ring fallback).
         0 (default) samples none, leaving all metered series untouched.
+    chaos:
+        Fault schedule: a tuple of :mod:`repro.faults.chaos` episodes
+        (``CrashEpisode`` / ``PartitionEpisode`` / ``LossBurstEpisode``)
+        or their ``"kind:key=value,..."`` spec strings (parsed at
+        construction).  Empty (default) injects nothing and is
+        guaranteed bit-identical to a chaos-free engine.  All episode
+        randomness comes from the dedicated ``"chaos"`` RNG stream.
+    invariant_mode:
+        Per-step hierarchy invariant checking (see
+        :mod:`repro.faults.invariants`): ``"auto"`` (default) checks
+        exactly when fault injection is on, ``"count"`` always checks,
+        ``"strict"`` raises on the first violation, ``"off"`` never
+        checks.
+    slo_success_threshold:
+        Query success rate an episode's recovery must recross before
+        the run counts as reconverged (only binds when the scenario
+        samples queries).
+    slo_window:
+        Consecutive converged steps required to declare recovery.
     hop_sample_every:
         Hop/giant-component sampling cadence: sample every k-th metered
         step (step 0 always samples).  Part of the scenario — and thus
@@ -140,6 +159,10 @@ class Scenario:
     retry_jitter: float = 0.1
     retry_timeout: float = 1.0
     queries_per_step: int = 0
+    chaos: tuple = ()
+    invariant_mode: str = "auto"
+    slo_success_threshold: float = 0.9
+    slo_window: int = 3
     hop_sample_every: int = 25
     seed: int = 0
 
@@ -149,7 +172,8 @@ class Scenario:
         "density", "target_degree", "dt", "detour", "failure_rate",
         "repair_time", "loss_rate", "loss_level_coeff", "retry_attempts",
         "retry_backoff", "retry_backoff_factor", "retry_jitter",
-        "retry_timeout", "queries_per_step", "hop_sample_every",
+        "retry_timeout", "queries_per_step", "slo_success_threshold",
+        "slo_window", "hop_sample_every",
     )
 
     def __post_init__(self):
@@ -245,6 +269,43 @@ class Scenario:
                 f"hop_sample_every must be >= 1, got "
                 f"{self.hop_sample_every!r} (1 samples every metered step)"
             )
+        # Chaos episodes: spec strings are parsed here (each episode
+        # dataclass validates its own window/rates with actionable
+        # messages), so a malformed schedule fails at construction, not
+        # mid-run.
+        from repro.faults.chaos import (
+            CrashEpisode, LossBurstEpisode, PartitionEpisode, parse_episode,
+        )
+
+        episodes = []
+        for ep in self.chaos:
+            if isinstance(ep, str):
+                ep = parse_episode(ep)
+            elif not isinstance(
+                ep, (CrashEpisode, PartitionEpisode, LossBurstEpisode)
+            ):
+                raise TypeError(
+                    f"chaos entries must be fault episodes or "
+                    f"'kind:key=value,...' specs, got {ep!r}"
+                )
+            episodes.append(ep)
+        object.__setattr__(self, "chaos", tuple(episodes))
+        if self.invariant_mode not in ("auto", "count", "strict", "off"):
+            raise ValueError(
+                f"invariant_mode must be auto, count, strict, or off, "
+                f"got {self.invariant_mode!r}"
+            )
+        if not 0.0 < self.slo_success_threshold <= 1.0:
+            raise ValueError(
+                f"slo_success_threshold must be a rate in (0, 1], got "
+                f"{self.slo_success_threshold!r} (0 would declare "
+                "recovery while every query still fails)"
+            )
+        if self.slo_window < 1:
+            raise ValueError(
+                f"slo_window must be >= 1 consecutive steps, got "
+                f"{self.slo_window!r}"
+            )
 
     # -- derived quantities -------------------------------------------------------
 
@@ -274,6 +335,35 @@ class Scenario:
     def faults_enabled(self) -> bool:
         """True when the control plane is lossy (EXP-A10 regime)."""
         return self.loss_rate > 0.0
+
+    @property
+    def has_chaos(self) -> bool:
+        """True when any fault injection runs: a scheduled episode or
+        the legacy Poisson crash field."""
+        return bool(self.chaos) or self.failure_rate > 0.0
+
+    @property
+    def resolved_invariant_mode(self) -> str:
+        """"auto" resolves to "count" when fault injection is on."""
+        if self.invariant_mode != "auto":
+            return self.invariant_mode
+        return "count" if self.has_chaos else "off"
+
+    def fault_schedule(self):
+        """The effective :class:`~repro.faults.chaos.FaultSchedule`:
+        scheduled episodes plus the legacy ``failure_rate`` crash
+        process (expressed as a whole-run episode on the historical
+        ``"failures"`` RNG stream, preserving EXP-A3 bit-identically).
+        """
+        from repro.faults.chaos import CrashEpisode, FaultSchedule
+
+        episodes = tuple(self.chaos)
+        if self.failure_rate > 0.0:
+            episodes += (CrashEpisode(
+                rate=self.failure_rate, repair_time=self.repair_time,
+                stream="failures",
+            ),)
+        return FaultSchedule(episodes=episodes)
 
     def loss_model(self):
         """The :class:`~repro.faults.loss.LossModel` these fields describe."""

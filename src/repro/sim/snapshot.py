@@ -58,6 +58,11 @@ class StepSnapshot:
         The handoff engine's *effective* server assignment after
         observing this step (stale entries from abandoned transfers
         included), for query-style collectors.
+    down:
+        Boolean per-node crash mask from the chaos engine (``None``
+        when the run injects no faults — the mask then would be
+        all-False).  Crashed nodes keep their identity but hold no
+        links in ``edges``.
     """
 
     t: float
@@ -70,3 +75,4 @@ class StepSnapshot:
     hop_fn: Any
     scenario: Scenario
     assignment: Any
+    down: np.ndarray | None = None

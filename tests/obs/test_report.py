@@ -106,6 +106,45 @@ class TestRealSweep:
         assert "phase mean ms/step" in text
         assert "hierarchy" in text
 
+    def test_invariant_summary_flags_broken_runs(self):
+        class _Chaos:
+            def __init__(self, total):
+                self.total_violations = total
+
+        def res(chaos=None):
+            extras = {} if chaos is None else {"chaos": chaos}
+            return type("R", (), {"extras": extras})()
+
+        rep = SweepReport()
+        clean, broken = res(_Chaos(0)), res(_Chaos(7))
+        rep.results = [res(), clean, broken, res(_Chaos(3))]
+        assert rep.invariant_summary() == {
+            "checked": 3, "flagged": 2, "violations": 10}
+        assert rep.flagged_results() == [broken, rep.results[3]]
+        assert "invariants 2/3 checked runs" in rep.render()
+        assert "(10 total)" in rep.render()
+
+    def test_invariant_line_absent_without_chaos_runs(self):
+        rep = SweepReport()
+        rep.results = [type("R", (), {"extras": {}})()]
+        assert rep.invariant_summary()["checked"] == 0
+        assert "invariants" not in rep.render()
+
+    def test_real_chaotic_sweep_surfaces_violations(self):
+        from repro.sim import run_sweep_detailed as _rsd
+
+        sc = Scenario(
+            n=60, steps=6, warmup=1, speed=1.5, hop_mode="euclidean",
+            max_levels=2,
+            chaos=("crash:start=1,duration=2,count=10,repair=4",),
+        )
+        rep = SweepReport()
+        run = _rsd([sc], hop_sample_every=4, progress=rep)
+        rep.finish(run)
+        summary = rep.invariant_summary()
+        assert summary["checked"] == 1
+        assert summary["violations"] >= 0
+
     def test_unprofiled_results_skipped(self):
         rep = SweepReport()
         run = run_sweep_detailed(

@@ -127,6 +127,62 @@ class TestRebuildTriggers:
         ref = ForwardingFabric(h2, g, mode="reference")
         assert_fabrics_equal(fab, ref, 100, 3)
 
+    def test_explicit_invalidate_forces_rebuild(self):
+        _, (h, g, edges) = self.make()
+        cache = FabricCache()
+        tracker = LinkTracker(100)
+        cache.update(h, g, tracker.observe(edges))
+        cache.invalidate()
+        assert cache.stats.explicit_invalidations == 1
+        assert cache.fabric is None
+        fab = cache.update(h, g, tracker.observe(edges))
+        assert cache.stats.full_rebuilds == 2
+        assert_fabrics_equal(fab, ForwardingFabric(h, g, mode="reference"),
+                             100, 5)
+        # Invalidating an already-empty cache is a silent no-op.
+        FabricCache().invalidate()
+
+    def test_massive_diff_abandons_carry(self):
+        """A partition severing (then healing) the whole deployment at
+        once floods the diff with more events than carry is worth; the
+        cache must fall back to a full rebuild — and stay exact."""
+        n = 100
+        rng = np.random.default_rng(2)
+        pts = disc_for_density(n, DENSITY).sample(n, rng)
+        edges = unit_disk_edges(pts, R_TX)
+        side = pts[:, 0] > 0
+        cut = edges[side[edges[:, 0]] == side[edges[:, 1]]]
+        tracker = LinkTracker(n)
+        cache = FabricCache(mass_invalidate_fraction=0.25)
+        for step_edges in (edges, cut, edges):
+            g = CompactGraph(np.arange(n), step_edges)
+            h = build_hierarchy(np.arange(n), step_edges, max_levels=3,
+                                level_mode="radio", positions=pts, r0=R_TX)
+            fab = cache.update(h, g, tracker.observe(step_edges))
+            assert_fabrics_equal(
+                fab, ForwardingFabric(h, g, mode="reference"), n, 9)
+        assert cache.stats.mass_invalidations == 2  # sever + heal
+        assert cache.stats.full_rebuilds == 3
+
+    def test_mass_threshold_inf_always_carries(self):
+        n = 100
+        rng = np.random.default_rng(2)
+        pts = disc_for_density(n, DENSITY).sample(n, rng)
+        edges = unit_disk_edges(pts, R_TX)
+        side = pts[:, 0] > 0
+        cut = edges[side[edges[:, 0]] == side[edges[:, 1]]]
+        tracker = LinkTracker(n)
+        cache = FabricCache(mass_invalidate_fraction=float("inf"))
+        for step_edges in (edges, cut, edges):
+            g = CompactGraph(np.arange(n), step_edges)
+            h = build_hierarchy(np.arange(n), step_edges, max_levels=3,
+                                level_mode="radio", positions=pts, r0=R_TX)
+            fab = cache.update(h, g, tracker.observe(step_edges))
+            assert_fabrics_equal(
+                fab, ForwardingFabric(h, g, mode="reference"), n, 13)
+        assert cache.stats.mass_invalidations == 0
+        assert cache.stats.full_rebuilds == 1
+
     def test_reference_mode_always_rebuilds(self):
         _, (h, g, edges) = self.make()
         cache = FabricCache(mode="reference")

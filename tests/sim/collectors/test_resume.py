@@ -72,6 +72,34 @@ class TestResumeEqualsUninterrupted:
         with pytest.raises(ValueError):
             Simulator(_scenario()).run(checkpoint_every=5)
 
+    def test_resume_mid_fault_episode_is_bit_identical(self, tmp_path):
+        """Checkpoint taken while a crash episode, a partition, and a
+        burst window are all in flight; the resumed run must replay the
+        exact chaos draws and invariant series."""
+        sc = _scenario(
+            steps=14, queries_per_step=4,
+            chaos=("crash:start=2,duration=10,rate=0.05,repair=6",
+                   "partition:start=4,duration=9,angle=0.5",
+                   "burst:start=3,duration=9,rate=0.4"),
+        )
+        baseline = Simulator(sc).run()
+
+        path = tmp_path / "chaotic.ckpt"
+        Simulator(sc).run(checkpoint_every=5, checkpoint_path=str(path))
+        resumed_sim = Simulator.restore(str(path))
+        assert resumed_sim._chaos is not None
+        assert resumed_sim._chaos.partition_active()  # mid-episode
+        resumed = resumed_sim.run()
+        _assert_same_result(baseline, resumed)
+        a, b = baseline.extras["chaos"], resumed.extras["chaos"]
+        assert a.violations_series == b.violations_series
+        assert a.down_series == b.down_series
+        assert a.stale_series == b.stale_series
+        assert [e.time_to_reconverge for e in a.episodes] == \
+               [e.time_to_reconverge for e in b.episodes]
+        assert (baseline.queries.success_series
+                == resumed.queries.success_series)
+
 
 class TestStaleCheckpointRejection:
     def _write_checkpoint(self, tmp_path, **replace):

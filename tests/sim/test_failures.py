@@ -53,8 +53,9 @@ class TestFailureInjection:
 
 
 class TestFailureMechanics:
-    """White-box tests of the crash/repair model itself
-    (``_advance_failures`` / ``_apply_failures``)."""
+    """White-box tests of the crash/repair model, now served by the
+    chaos engine (``Scenario.failure_rate`` rides a whole-run
+    :class:`~repro.faults.CrashEpisode` on the legacy RNG stream)."""
 
     @staticmethod
     def _sim(**kwargs):
@@ -66,40 +67,39 @@ class TestFailureMechanics:
         return Simulator(Scenario(**defaults))
 
     def test_crashed_node_loses_all_edges(self):
-        sim = self._sim(failure_rate=0.05)
-        sim._now = 10.0
-        sim._down_until[7] = 99.0  # node 7 is down
+        chaos = self._sim(failure_rate=0.05)._chaos
+        chaos.now = 10.0
+        chaos.down_until[7] = 99.0  # node 7 is down
         edges = np.array([[7, 1], [2, 7], [2, 3], [4, 5]])
-        kept = sim._apply_failures(edges)
+        kept = chaos.filter_edges(edges, np.zeros((50, 2)))
         assert 7 not in kept
         assert kept.tolist() == [[2, 3], [4, 5]]
 
     def test_recovery_after_repair_time(self):
-        sim = self._sim(failure_rate=0.05, repair_time=5.0)
-        sim._now = 10.0
-        sim._down_until[7] = 12.0
+        chaos = self._sim(failure_rate=0.05, repair_time=5.0)._chaos
+        chaos.now = 10.0
+        chaos.down_until[7] = 12.0
+        pos = np.zeros((50, 2))
         edges = np.array([[7, 1]])
-        assert sim._apply_failures(edges).size == 0  # still down at t=10
-        sim._now = 12.5  # repaired: down_until < now
-        assert sim._apply_failures(edges).tolist() == [[7, 1]]
+        assert chaos.filter_edges(edges, pos).size == 0  # down at t=10
+        chaos.now = 12.5  # repaired: down_until < now
+        assert chaos.filter_edges(edges, pos).tolist() == [[7, 1]]
 
-    def test_zero_rate_is_a_true_noop(self):
-        """failure_rate=0 must neither draw RNG state nor copy edges."""
+    def test_zero_rate_builds_no_chaos_engine(self):
+        """failure_rate=0 (and no schedule) must keep the fault path
+        structurally absent — nothing to draw from, filter, or pickle."""
         sim = self._sim(failure_rate=0.0)
-        state = sim._failure_rng.bit_generator.state
-        sim._advance_failures(1.0)
-        assert sim._failure_rng.bit_generator.state == state
-        edges = np.array([[0, 1], [2, 3]])
-        assert sim._apply_failures(edges) is edges
-        assert np.all(np.isinf(-sim._down_until))  # nobody ever crashes
+        assert sim._chaos is None
+        assert sim.checkpoint().chaos is None
 
     def test_crash_schedule_seed_deterministic(self):
         def schedule(seed):
-            sim = self._sim(failure_rate=0.2, repair_time=3.0, seed=seed)
+            chaos = self._sim(failure_rate=0.2, repair_time=3.0,
+                              seed=seed)._chaos
             out = []
             for _ in range(20):
-                sim._advance_failures(1.0)
-                out.append(sim._down_until.copy())
+                chaos.advance(1.0)
+                out.append(chaos.down_until.copy())
             return np.stack(out)
 
         assert np.array_equal(schedule(5), schedule(5))
@@ -108,15 +108,16 @@ class TestFailureMechanics:
     def test_crash_rate_tracks_poisson_intensity(self):
         """Over many node-steps the empirical crash probability matches
         1 - exp(-rate * dt)."""
-        sim = self._sim(n=2000, failure_rate=0.1, repair_time=0.5, seed=1)
+        chaos = self._sim(n=2000, failure_rate=0.1, repair_time=0.5,
+                          seed=1)._chaos
         crashes = 0
         trials = 0
         for _ in range(30):
-            up_before = sim._down_until < sim._now + 1.0
+            up_before = chaos.down_until < chaos.now + 1.0
             trials += int(up_before.sum())
-            before = sim._down_until.copy()
-            sim._advance_failures(1.0)
-            crashes += int((sim._down_until != before).sum())
+            before = chaos.down_until.copy()
+            chaos.advance(1.0)
+            crashes += int((chaos.down_until != before).sum())
         expected = -np.expm1(-0.1 * 1.0)
         assert crashes / trials == pytest.approx(expected, rel=0.15)
 

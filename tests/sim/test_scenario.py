@@ -98,6 +98,54 @@ class TestValidation:
         assert policy.timeout == 9.0
 
 
+class TestChaosFields:
+    @pytest.mark.parametrize("kwargs", [
+        {"chaos": ("crash:rate=-1",)},              # bad episode value
+        {"chaos": ("meteor:start=1,duration=2",)},  # unknown kind
+        {"chaos": ("partition:start=1,duration=-2",)},
+        {"invariant_mode": "loose"},
+        {"slo_success_threshold": 0.0},
+        {"slo_success_threshold": 1.5},
+        {"slo_success_threshold": float("nan")},
+        {"slo_window": 0},
+    ])
+    def test_rejects_bad_chaos_values(self, kwargs):
+        with pytest.raises(ValueError):
+            Scenario(**kwargs)
+
+    def test_rejects_non_episode_chaos_entries(self):
+        with pytest.raises(TypeError, match="episode"):
+            Scenario(chaos=(object(),))
+
+    def test_string_specs_normalized_to_episodes(self):
+        from repro.faults import CrashEpisode, PartitionEpisode
+
+        sc = Scenario(chaos=("crash:rate=0.1,repair=5",
+                             PartitionEpisode(start=3.0, duration=2.0)))
+        assert isinstance(sc.chaos[0], CrashEpisode)
+        assert sc.chaos[0].repair_time == 5.0
+        assert isinstance(sc.chaos[1], PartitionEpisode)
+
+    def test_invariant_mode_resolution(self):
+        assert Scenario().resolved_invariant_mode == "off"
+        assert Scenario(failure_rate=0.01).resolved_invariant_mode == "count"
+        assert Scenario(
+            chaos=("burst:rate=0.3,start=1,duration=2",)
+        ).resolved_invariant_mode == "count"
+        assert Scenario(invariant_mode="strict").resolved_invariant_mode \
+            == "strict"
+        assert Scenario(failure_rate=0.01,
+                        invariant_mode="off").resolved_invariant_mode == "off"
+
+    def test_fault_schedule_appends_legacy_episode(self):
+        sched = Scenario(failure_rate=0.02, repair_time=7.0).fault_schedule()
+        assert len(sched) == 1
+        ep = sched.episodes[0]
+        assert ep.rate == 0.02 and ep.repair_time == 7.0
+        assert ep.stream == "failures"
+        assert not Scenario().fault_schedule()
+
+
 class TestDerivedQuantities:
     def test_fixed_density_scaling(self):
         """Area grows linearly with n at fixed density (Section 1.2)."""
