@@ -13,7 +13,12 @@ and enforces two ratios:
 * a fully chaotic step (``test_bench_chaos_step``: active crash
   episode + partition cut + per-step invariant checking) must stay
   within ``CHAOS_BUDGET``x of the plain step — fault injection and
-  invariant checking must never dominate the simulation itself.
+  invariant checking must never dominate the simulation itself;
+* a server-mode step (``test_bench_service_step``: ~100 open-loop
+  requests generated, admitted, resolved on the thread pool, and
+  queued) must stay within ``SERVICE_BUDGET``x of the plain step —
+  the front-end is an observer and must stay in the same cost class
+  as the simulation it observes.
 
 Exit status is non-zero on violation, so CI fails the build.
 
@@ -28,6 +33,7 @@ import sys
 FABRIC_BUDGET = 25.0
 INCREMENTAL_BUDGET = 2.0
 CHAOS_BUDGET = 2.0
+SERVICE_BUDGET = 4.0
 
 
 def mean_of(benchmarks: list[dict], name: str) -> float:
@@ -47,6 +53,8 @@ def main(path: str) -> int:
          INCREMENTAL_BUDGET),
         ("test_bench_chaos_step", "test_bench_simulator_step",
          CHAOS_BUDGET),
+        ("test_bench_service_step", "test_bench_simulator_step",
+         SERVICE_BUDGET),
     ]
     failed = False
     for name, baseline, budget in checks:

@@ -25,6 +25,9 @@ Subpackages
     delivery accounting, expanding-ring degradation (ROBUSTNESS.md).
 ``repro.sim``
     The time-stepped simulator composing everything.
+``repro.service``
+    Open-loop location-service front-end: workload generation,
+    admission control, queueing, latency SLOs (docs/SERVICE.md).
 ``repro.obs``
     Run telemetry: phase timers, run manifests, JSONL export, sweep
     profiling reports (OBSERVABILITY.md).
@@ -57,6 +60,7 @@ __all__ = [
     "core",
     "faults",
     "sim",
+    "service",
     "obs",
     "analysis",
     "experiments",

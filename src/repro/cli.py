@@ -9,6 +9,8 @@
     python -m repro simulate --n 300 --chaos partition:start=30,duration=20 \\
         --chaos-report chaos.json
     python -m repro resume run.ckpt
+    python -m repro serve --n 500 --steps 25 --arrival-rate 500 \\
+        --admission-rate 400 [--slo-report slo.json]
     python -m repro sweep --ns 200,400,800 --seeds 0,1,2 --workers 4
     python -m repro profile --ns 200,400 --seeds 0,1 [--manifest runs.jsonl]
     python -m repro hierarchy --n 120 [--seed 7]
@@ -116,6 +118,56 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--keep-checkpoint", action="store_true",
                        help="leave the checkpoint file in place after the run "
                             "completes (default: delete it)")
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="open-loop service run: drive lookups/updates at an arrival "
+             "rate, report latency/throughput SLOs")
+    p_srv.add_argument("--preset", default=None,
+                       help="start from a named preset (see repro.sim.PRESETS)")
+    p_srv.add_argument("--n", type=int, default=200)
+    p_srv.add_argument("--steps", type=int, default=25)
+    p_srv.add_argument("--warmup", type=int, default=5)
+    p_srv.add_argument("--speed", type=float, default=1.0)
+    p_srv.add_argument("--dt", type=float, default=1.0)
+    p_srv.add_argument("--density", type=float, default=0.02)
+    p_srv.add_argument("--degree", type=float, default=9.0)
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument("--levels", type=int, default=None,
+                       help="hierarchy depth cap (default: log-scaled)")
+    p_srv.add_argument("--hops", default="euclidean",
+                       choices=["auto", "bfs", "euclidean"])
+    p_srv.add_argument("--arrival-rate", type=float, default=50.0,
+                       help="mean service arrivals per simulated second "
+                            "(default 50; must be > 0)")
+    p_srv.add_argument("--arrival-process", default="poisson",
+                       choices=["poisson", "diurnal", "hotspot"],
+                       help="arrival process: homogeneous Poisson, diurnal "
+                            "sinusoid rate, or hotspot-skewed Zipf targets")
+    p_srv.add_argument("--admission-rate", type=float, default=0.0,
+                       help="token-bucket admission rate in requests per "
+                            "simulated second (default 0 = admit all)")
+    p_srv.add_argument("--service-workers", type=int, default=4,
+                       help="dispatcher worker count (default 4)")
+    p_srv.add_argument("--queue-capacity", type=int, default=512,
+                       help="waiting-request backlog bound (default 512)")
+    p_srv.add_argument("--update-fraction", type=float, default=0.2,
+                       help="fraction of requests that are re-registrations "
+                            "rather than lookups (default 0.2)")
+    p_srv.add_argument("--scheme", default="chlm", choices=["chlm", "gls"],
+                       help="resolution scheme the service fronts (default chlm)")
+    p_srv.add_argument("--loss-rate", type=float, default=0.0,
+                       help="per-hop control-packet loss probability "
+                            "(default 0 = lossless)")
+    p_srv.add_argument("--retry-attempts", type=int, default=4,
+                       help="max delivery attempts per control message "
+                            "when --loss-rate > 0 (default 4)")
+    p_srv.add_argument("--slo-report", default=None, metavar="PATH",
+                       help="write the service SLO summary (latency "
+                            "percentiles, throughput, shed/drop counts) to "
+                            "this path as JSON")
+    p_srv.add_argument("--manifest", default=None, metavar="PATH",
+                       help="write a run manifest (JSON) to this path")
 
     p_rep = sub.add_parser("report", help="run experiments, emit a markdown report")
     p_rep.add_argument("--out", default=None, help="write the report to this file")
@@ -235,6 +287,7 @@ def _cmd_list() -> int:
         "EXP-A9": "extension — end-to-end sessions on the full stack",
         "EXP-A10": "extension — lossy control plane (retries, staleness)",
         "EXP-A11": "extension — chaos episodes, invariants, recovery SLOs",
+        "EXP-A12": "extension — open-loop service load, latency SLOs",
     }
     for eid in ALL_EXPERIMENTS:
         print(f"{eid:8s} {titles.get(eid, '')}")
@@ -383,6 +436,70 @@ def _print_run(res, show_trace=False, trace_jsonl=None, show_profile=False):
         print(f"\nphase breakdown (wall {res.timings.wall_seconds:.2f} s):")
         for line in res.timings.to_lines():
             print(" ", line)
+
+
+def _cmd_serve(args) -> int:
+    from repro.analysis import levels_for
+    from repro.sim import Scenario, run_scenario
+
+    if args.arrival_rate <= 0:
+        print("serve needs --arrival-rate > 0", file=sys.stderr)
+        return 2
+    levels = args.levels if args.levels is not None else levels_for(args.n)
+    kwargs = dict(
+        n=args.n, steps=args.steps, warmup=args.warmup, speed=args.speed,
+        dt=args.dt, density=args.density, target_degree=args.degree,
+        seed=args.seed, max_levels=levels, hop_mode=args.hops,
+        loss_rate=args.loss_rate, retry_attempts=args.retry_attempts,
+        arrival_rate=args.arrival_rate,
+        arrival_process=args.arrival_process,
+        admission_rate=args.admission_rate,
+        service_workers=args.service_workers,
+        service_queue_capacity=args.queue_capacity,
+        service_update_fraction=args.update_fraction,
+        service_scheme=args.scheme,
+    )
+    if args.preset:
+        from repro.sim import make_scenario
+
+        for key in ("speed", "dt", "density"):
+            kwargs.pop(key, None)
+        sc = make_scenario(args.preset, **kwargs)
+    else:
+        sc = Scenario(**kwargs)
+    res = run_scenario(sc)
+    rep = res.extras["service"]
+    admission = ("admit-all" if sc.admission_rate <= 0
+                 else f"{sc.admission_rate:g}/s")
+    print(f"n={sc.n}  L<={sc.max_levels}  {sc.duration:.0f} s metered  "
+          f"(seed {sc.seed})")
+    print(f"  workload   = {sc.arrival_rate:g}/s {sc.arrival_process} "
+          f"({sc.service_scheme}), admission {admission}, "
+          f"{sc.service_workers} workers")
+    print(f"  offered    = {rep.offered}  served = {rep.served}  "
+          f"shed = {rep.shed}  dropped = {rep.dropped}")
+    print(f"  latency    = p50 {rep.p50:.4f} / p95 {rep.p95:.4f} / "
+          f"p99 {rep.p99:.4f} s  (mean wait {rep.mean_wait:.4f} s)")
+    print(f"  throughput = {rep.throughput:.1f} req/s  "
+          f"peak queue = {rep.peak_queue_depth}")
+    print(f"  lookups    = {rep.lookups} "
+          f"(direct {rep.direct_hits}, fallback {rep.fallback_hits}, "
+          f"failed {rep.failed})  updates = {rep.updates}")
+    print(f"  success    = {rep.success_rate:.3f}  "
+          f"dispatch wall = {rep.wall_seconds:.3f} s")
+    if args.slo_report:
+        import json
+
+        with open(args.slo_report, "w") as fh:
+            json.dump(rep.to_metrics(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"SLO report written to {args.slo_report}")
+    if args.manifest:
+        from repro.obs import RunManifest
+
+        path = RunManifest.from_result(res).write(args.manifest)
+        print(f"manifest written to {path}")
+    return 0
 
 
 def _cmd_resume(args) -> int:
@@ -584,6 +701,8 @@ def main(argv=None) -> int:
         return _cmd_simulate(args)
     if args.command == "resume":
         return _cmd_resume(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "profile":

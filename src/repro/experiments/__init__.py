@@ -17,6 +17,7 @@ from repro.experiments import (
     e_a9_end_to_end,
     e_a10_lossy_control,
     e_a11_chaos,
+    e_a12_service_load,
     e_f1_hierarchy,
     e_f2_gls_grid,
     e_f3_alca_states,
@@ -58,6 +59,7 @@ ALL_EXPERIMENTS = {
     "EXP-A9": e_a9_end_to_end.run,
     "EXP-A10": e_a10_lossy_control.run,
     "EXP-A11": e_a11_chaos.run,
+    "EXP-A12": e_a12_service_load.run,
 }
 
 __all__ = ["ExperimentResult", "ALL_EXPERIMENTS"]

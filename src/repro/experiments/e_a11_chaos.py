@@ -91,7 +91,10 @@ def run(quick: bool = True, seeds=(0, 1)) -> ExperimentResult:
                 ttr = np.inf if chaos else 0.0
             ttrs.append(ttr)
             stales.append(rep.max_stale_window)
-            succ.append(res.query_success_rate or 0.0)
+            # None means "no queries sampled", not "all queries
+            # failed": keep it out of the mean instead of zeroing it.
+            rate = res.query_success_rate
+            succ.append(np.nan if rate is None else rate)
         result.add_row(
             name,
             round(float(np.mean(totals)), 1),
@@ -99,7 +102,8 @@ def run(quick: bool = True, seeds=(0, 1)) -> ExperimentResult:
             round(float(np.mean(downs)), 1),
             round(float(np.mean(ttrs)), 1),
             round(float(np.mean(stales)), 1),
-            f"{float(np.mean(succ)):.3f}",
+            "n/a" if np.all(np.isnan(succ))
+            else f"{float(np.nanmean(succ)):.3f}",
         )
     result.add_note(
         "Finding: every fault regime reconverges in finite time once its "

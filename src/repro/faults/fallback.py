@@ -29,21 +29,27 @@ def expanding_ring_cost(
 
     TTL doubles each round (1, 2, 4, ...) until the ring radius covers
     the target; each round re-floods from scratch, charging one
-    rebroadcast per node inside the ring (capped at ``n``).  Returns 0
-    for a zero-hop "flood" (the target is the requester itself).
+    rebroadcast per node inside the ring (capped at ``n``).  The final
+    ring is clamped to ``target_hops`` — a TTL past the target buys
+    nothing, so nodes beyond it are never charged.  Returns 0 for a
+    zero-hop "flood" (the target is the requester itself); raises
+    ``ValueError`` on non-physical geometry regardless of
+    ``target_hops``, so degenerate sweep cells fail loudly instead of
+    silently metering the flood at zero cost.
     """
-    if target_hops <= 0:
-        return 0
     if n <= 0 or density <= 0 or r_tx <= 0:
         raise ValueError("need positive n, density, and r_tx")
+    if target_hops <= 0:
+        return 0
     cost = 0
-    radius = 1
+    ttl = 1
     while True:
+        radius = min(ttl, target_hops)
         reach = min(n, int(math.ceil(density * math.pi * (radius * r_tx) ** 2)))
         cost += max(reach, 1)
         if radius >= target_hops:
             return cost
-        radius *= 2
+        ttl *= 2
 
 
 @dataclass

@@ -92,6 +92,9 @@ class RunManifest:
         }
         if res.query_success_rate is not None:
             metrics["query_success_rate"] = float(res.query_success_rate)
+        service = getattr(res, "extras", {}).get("service")
+        if service is not None:
+            metrics.update(service.to_metrics())
         chaos = getattr(res, "extras", {}).get("chaos")
         if chaos is not None:
             ttr = chaos.max_time_to_reconverge()

@@ -46,7 +46,11 @@ from repro.graphs import CompactGraph
 from repro.hierarchy.levels import ClusteredHierarchy
 from repro.radio.linkevents import LinkDiff
 from repro.routing.bfs_kernels import flood_rows_safe
-from repro.routing.forwarding import L0_CACHE_ENTRIES, ForwardingFabric
+from repro.routing.forwarding import (
+    L0_CACHE_ENTRIES,
+    NH_CACHE_ENTRIES,
+    ForwardingFabric,
+)
 
 __all__ = ["FabricCache", "FabricCacheStats"]
 
@@ -85,6 +89,7 @@ class FabricCache:
 
     mode: str = "vectorized"
     l0_cache_entries: int = L0_CACHE_ENTRIES
+    nh_cache_entries: int = NH_CACHE_ENTRIES
     mass_invalidate_fraction: float = 1.0
     """Link-event budget before incremental carry is abandoned: when a
     step's diff carries more than this fraction of the node count in
@@ -136,10 +141,12 @@ class FabricCache:
         if fresh:
             self.stats.full_rebuilds += 1
             fab = ForwardingFabric(h, g, mode=self.mode,
-                                   l0_cache_entries=self.l0_cache_entries)
+                                   l0_cache_entries=self.l0_cache_entries,
+                                   nh_cache_entries=self.nh_cache_entries)
         else:
             inherited = self._carry(prev, prev_h, h, g, diff)
             fab = ForwardingFabric(h, g, l0_cache_entries=self.l0_cache_entries,
+                                   nh_cache_entries=self.nh_cache_entries,
                                    _inherited=inherited)
         self.fabric, self._h = fab, h
         return fab

@@ -53,10 +53,14 @@ __all__ = [
     "ForwardResult",
     "FloodRecord",
     "L0_CACHE_ENTRIES",
+    "NH_CACHE_ENTRIES",
 ]
 
 L0_CACHE_ENTRIES = 256
 """Default bound on cached level-0 per-destination floods (LRU)."""
+
+NH_CACHE_ENTRIES = 256
+"""Default bound on cached cluster-level unrestricted floods (LRU)."""
 
 
 @dataclass(frozen=True)
@@ -135,11 +139,18 @@ class ForwardingFabric:
     l0_cache_entries:
         LRU bound on cached level-0 per-destination floods, so long
         message workloads keep O(bound · n) flood state.
+    nh_cache_entries:
+        LRU bound on cached cluster-level (k >= 1) unrestricted floods.
+        Distinct (level, cluster-id) targets accumulate across a long
+        mixed-level message stream — and across steps via
+        :class:`~repro.routing.fabric_cache.FabricCache` carry as
+        cluster IDs churn — so these need the same bound as level 0.
     """
 
     def __init__(self, h: ClusteredHierarchy, g0: CompactGraph,
                  mode: str = "vectorized",
                  l0_cache_entries: int = L0_CACHE_ENTRIES,
+                 nh_cache_entries: int = NH_CACHE_ENTRIES,
                  _inherited: dict | None = None):
         if not np.array_equal(h.levels[0].node_ids, g0.node_ids):
             raise ValueError("hierarchy and graph node sets differ")
@@ -160,15 +171,20 @@ class ForwardingFabric:
         # disconnected-parent fallback): cluster-level entries are
         # bounded by the cluster count; level-0 per-destination entries
         # live in a separate LRU so message workloads stay bounded.
-        self._nh_cache: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+        self._nh_cache: OrderedDict[
+            tuple[int, int], tuple[np.ndarray, np.ndarray]] = OrderedDict()
         self._l0_cache: OrderedDict[int, tuple[np.ndarray, np.ndarray]] = OrderedDict()
         self._l0_cache_entries = int(l0_cache_entries)
+        self._nh_cache_entries = int(nh_cache_entries)
         inherited_l0 = self._inherited.pop(("l0",), None)
         if inherited_l0:
             self._l0_cache.update(inherited_l0)
+            while len(self._l0_cache) > self._l0_cache_entries:
+                self._l0_cache.popitem(last=False)
         inherited_nh = self._inherited.pop(("nh",), None)
         if inherited_nh:
             self._nh_cache.update(inherited_nh)
+            self._trim_nh_cache()
         if mode == "reference":
             self._build_reference()
 
@@ -430,6 +446,7 @@ class ForwardingFabric:
             nh, dist = labeled_next_hop(self.g0, sources, labels, len(cks))
             for j, ck in enumerate(cks):
                 self._nh_cache[(k, ck)] = (nh[j], dist[j])
+        self._trim_nh_cache()
 
     # -- queries --------------------------------------------------------------------
 
@@ -467,11 +484,15 @@ class ForwardingFabric:
                 sizes[cols] += (rec.next_hop[:, cols] >= 0).sum(axis=0)
             elif key[0] == "sib":
                 k = key[1]
+                anck = self._anc[k]
                 cols = np.flatnonzero(rec.mask)
                 eff = rec.next_hop[:, cols]
                 for j, ck in enumerate(rec.label_ids.tolist()):
-                    entry = self._nh_cache.get((k, ck))
-                    if entry is not None:
+                    # Same predicate as _batch_fallbacks; the LRU may
+                    # have evicted the entry, so recompute on miss.
+                    carriers = rec.mask & (anck != ck)
+                    if np.any(rec.next_hop[j][carriers] < 0):
+                        entry = self._nh_lookup(k, ck)
                         eff[j] = np.where(eff[j] < 0, entry[0][cols], eff[j])
                 own = rec.label_ids[:, None] == self._anc[k][cols][None, :]
                 sizes[cols] += ((eff >= 0) & ~own).sum(axis=0)
@@ -502,11 +523,23 @@ class ForwardingFabric:
             else:
                 self._l0_cache.move_to_end(ck)
             return entry[0]
+        return self._nh_lookup(k, ck)[0]
+
+    def _trim_nh_cache(self) -> None:
+        while len(self._nh_cache) > self._nh_cache_entries:
+            self._nh_cache.popitem(last=False)
+
+    def _nh_lookup(self, k: int, ck: int) -> tuple[np.ndarray, np.ndarray]:
+        """Cached unrestricted flood toward cluster (k, ck), recomputed
+        on an LRU miss — eviction is a cost, never a behavior change."""
         entry = self._nh_cache.get((k, ck))
         if entry is None:
             entry = self._single_flood(self.h.members0(k, ck))
             self._nh_cache[(k, ck)] = entry
-        return entry[0]
+            self._trim_nh_cache()
+        else:
+            self._nh_cache.move_to_end((k, ck))
+        return entry
 
     def _target(self, at_idx: int, address: tuple[int, ...]) -> tuple[int, int]:
         """Current routing target from the destination address: the

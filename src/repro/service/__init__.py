@@ -1,0 +1,39 @@
+"""Open-loop location-service front-end ("server mode").
+
+The paper meters handoff overhead per mobility event; a deployed
+location service additionally faces *open-loop load* — lookups and
+updates arrive whether or not the last one finished.  This package
+turns the GLS/CHLM cores into such a service: a deterministic workload
+generator (:mod:`repro.service.workload`), token-bucket admission and a
+bounded multi-server queue (:mod:`repro.service.queueing`), a
+thread-pool front-end resolving requests against live simulator state
+(:mod:`repro.service.frontend`), and the resulting latency/throughput
+SLO report (:mod:`repro.service.report`).
+
+Enable it by setting ``Scenario.arrival_rate > 0`` (see
+``repro serve`` in the CLI); the run's ``SimResult.extras["service"]``
+then holds the :class:`~repro.service.report.ServiceReport`.  With the
+service off, the engine is bit-identical to one without this package —
+the same standing contract every fault feature in this repo obeys.
+See docs/SERVICE.md.
+"""
+
+from repro.service.frontend import ServiceFrontend
+from repro.service.queueing import QueueDecision, ServiceQueue, TokenBucket
+from repro.service.report import ServiceReport
+from repro.service.workload import (
+    ARRIVAL_PROCESSES,
+    Request,
+    WorkloadGenerator,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "QueueDecision",
+    "Request",
+    "ServiceFrontend",
+    "ServiceQueue",
+    "ServiceReport",
+    "TokenBucket",
+    "WorkloadGenerator",
+]

@@ -1,0 +1,113 @@
+"""Backpressure primitives for the open-loop service front-end.
+
+Both classes operate in *simulated* time and are fully deterministic:
+given the same arrival sequence and service times they produce the same
+admissions, drops, start times, and completions — independent of how
+the wall-clock dispatcher threads interleave.
+
+:class:`TokenBucket` sheds load *before* queueing (admission control);
+:class:`ServiceQueue` is a work-conserving multi-server FIFO queue with
+a bounded backlog — requests that arrive to a full backlog are dropped
+(backpressure), everything else is assigned a deterministic start and
+completion time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["TokenBucket", "ServiceQueue", "QueueDecision"]
+
+
+@dataclass
+class TokenBucket:
+    """Deterministic token-bucket admission controller.
+
+    ``rate`` tokens refill per simulated second up to ``burst`` (one
+    second of tokens by default); each admitted request spends one.
+    ``rate <= 0`` admits everything (admission control off).
+    """
+
+    rate: float
+    burst: float | None = None
+    _tokens: float = field(default=0.0, repr=False)
+    _t: float = field(default=0.0, repr=False)
+    shed: int = 0
+    """Requests rejected by the bucket so far."""
+
+    def __post_init__(self):
+        if self.burst is None:
+            self.burst = max(float(self.rate), 1.0)
+        self._tokens = float(self.burst)
+
+    def admit(self, t: float) -> bool:
+        """Spend one token at time ``t``; False sheds the request."""
+        if self.rate <= 0:
+            return True
+        if t > self._t:
+            self._tokens = min(self.burst,
+                               self._tokens + (t - self._t) * self.rate)
+            self._t = t
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        self.shed += 1
+        return False
+
+
+@dataclass(frozen=True)
+class QueueDecision:
+    """Outcome of submitting one request to the queue."""
+
+    accepted: bool
+    """False when the bounded backlog was full (request dropped)."""
+    start: float = 0.0
+    """Service start time (== arrival when a worker was free)."""
+    completion: float = 0.0
+    """Service completion time; ``completion - arrival`` is the
+    request's sojourn latency."""
+
+
+class ServiceQueue:
+    """Work-conserving multi-server FIFO queue in simulated time.
+
+    Requests must be submitted in non-decreasing arrival order.  Each
+    accepted request is assigned to the earliest-free server — which,
+    for in-order arrivals, yields exactly the start times of a single
+    FIFO backlog feeding ``workers`` servers — so start and completion
+    times are known at submission even for requests that wait.
+    """
+
+    def __init__(self, workers: int, capacity: int):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._free = [0.0] * int(workers)
+        # Start times of accepted-but-not-yet-started requests; starts
+        # are non-decreasing (see submit), so this stays sorted.
+        self._pending: deque[float] = deque()
+        self.dropped = 0
+        """Requests dropped on a full backlog so far."""
+
+    def depth(self, t: float) -> int:
+        """Backlog size at time ``t`` (accepted, not yet started)."""
+        while self._pending and self._pending[0] <= t:
+            self._pending.popleft()
+        return len(self._pending)
+
+    def submit(self, t: float, service_time: float) -> QueueDecision:
+        """Offer a request arriving at ``t`` needing ``service_time``."""
+        waiting = self.depth(t)
+        i = min(range(len(self._free)), key=self._free.__getitem__)
+        start = max(t, self._free[i])
+        if start > t:
+            if waiting >= self.capacity:
+                self.dropped += 1
+                return QueueDecision(accepted=False)
+            self._pending.append(start)
+        self._free[i] = start + max(float(service_time), 0.0)
+        return QueueDecision(accepted=True, start=start,
+                             completion=self._free[i])

@@ -1,0 +1,148 @@
+"""Latency/throughput accounting for the service front-end.
+
+:class:`ServiceReport` is what ``SimResult.extras["service"]`` holds
+after a server-mode run: request counts by fate (shed, dropped, served
+directly, rescued by the expanding-ring fallback, failed), per-step
+series for offered load / shedding / queue depth, the full sojourn
+latency sample, and the dispatcher's measured wall-clock cost.  All
+latency quantities are in *simulated* seconds (packets charged through
+the queueing model at ``service_hop_time`` per packet); wall time is
+reported separately and never feeds a simulated metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ServiceReport"]
+
+
+@dataclass
+class ServiceReport:
+    """Outcome of one open-loop service run."""
+
+    duration: float = 0.0
+    """Metered simulated seconds the workload ran for."""
+    offered: int = 0
+    """Total arrivals generated (lookups + updates)."""
+    shed: int = 0
+    """Arrivals rejected by the token-bucket admission controller."""
+    dropped: int = 0
+    """Admitted arrivals dropped on a full service queue."""
+    lookups: int = 0
+    """Lookup arrivals admitted into the queue."""
+    updates: int = 0
+    """Update arrivals admitted into the queue."""
+    direct_hits: int = 0
+    """Lookups resolved by the hierarchical probe path."""
+    fallback_hits: int = 0
+    """Lookups rescued by the expanding-ring flood."""
+    failed: int = 0
+    """Lookups that failed outright (unreachable target)."""
+    packets: int = 0
+    """Control packets charged across all served requests."""
+    latencies: list[float] = field(default_factory=list)
+    """Per-request sojourn latency (queue wait + service), simulated
+    seconds, in arrival order over every queued request."""
+    waits: list[float] = field(default_factory=list)
+    """Per-request queue-wait component of the sojourn, same order."""
+    arrivals_series: list[int] = field(default_factory=list)
+    """Offered arrivals per metered step."""
+    shed_series: list[int] = field(default_factory=list)
+    """Admission-shed count per metered step."""
+    dropped_series: list[int] = field(default_factory=list)
+    """Queue-full drops per metered step."""
+    queue_depth_series: list[int] = field(default_factory=list)
+    """Backlog depth sampled at each step boundary."""
+    wall_seconds: float = 0.0
+    """Measured wall-clock time spent inside the thread-pool
+    dispatcher (observation only, never a simulated quantity)."""
+
+    @property
+    def served(self) -> int:
+        """Requests that entered service (admitted and not dropped)."""
+        return len(self.latencies)
+
+    @property
+    def admitted(self) -> int:
+        """Arrivals past admission control (queued or dropped)."""
+        return self.offered - self.shed
+
+    @property
+    def throughput(self) -> float:
+        """Served requests per simulated second."""
+        return self.served / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def peak_queue_depth(self) -> int:
+        """Deepest backlog observed at a step boundary."""
+        return max(self.queue_depth_series, default=0)
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile sojourn latency (NaN when idle)."""
+        if not self.latencies:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    @property
+    def p50(self) -> float:
+        """Median sojourn latency in simulated seconds."""
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile sojourn latency in simulated seconds."""
+        return self.latency_percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile sojourn latency in simulated seconds."""
+        return self.latency_percentile(99.0)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean sojourn latency in simulated seconds (NaN when idle)."""
+        if not self.latencies:
+            return float("nan")
+        return float(np.mean(self.latencies))
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean queue-wait component in simulated seconds."""
+        if not self.waits:
+            return float("nan")
+        return float(np.mean(self.waits))
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of served lookups that resolved (direct or flood)."""
+        total = self.direct_hits + self.fallback_hits + self.failed
+        if total == 0:
+            return 1.0
+        return (self.direct_hits + self.fallback_hits) / total
+
+    def latency_histogram(self, bins: int = 20) -> tuple[list[int], list[float]]:
+        """Histogram (counts, bin edges) of the sojourn latencies."""
+        if not self.latencies:
+            return [], []
+        counts, edges = np.histogram(np.asarray(self.latencies), bins=bins)
+        return counts.astype(int).tolist(), edges.tolist()
+
+    def to_metrics(self) -> dict[str, float]:
+        """Flat scalar summary for manifests / sweep reports."""
+        return {
+            "service_offered": float(self.offered),
+            "service_served": float(self.served),
+            "service_shed": float(self.shed),
+            "service_dropped": float(self.dropped),
+            "service_throughput": float(self.throughput),
+            "service_p50_latency": float(self.p50),
+            "service_p95_latency": float(self.p95),
+            "service_p99_latency": float(self.p99),
+            "service_mean_wait": float(self.mean_wait),
+            "service_peak_queue_depth": float(self.peak_queue_depth),
+            "service_success_rate": float(self.success_rate),
+            "service_wall_seconds": float(self.wall_seconds),
+        }

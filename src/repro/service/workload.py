@@ -1,0 +1,161 @@
+"""Open-loop arrival generation for the location-service front-end.
+
+The generator turns a configured arrival process into a concrete,
+deterministic request stream: each metered step it draws the step's
+arrival count, arrival offsets, request kinds (lookup vs. update),
+endpoints, and one delivery seed per request — all from a single
+dedicated RNG stream, so the whole workload replays bit-identically for
+a given scenario seed regardless of how the dispatcher later schedules
+the work across threads.
+
+Processes
+---------
+``"poisson"``
+    Homogeneous Poisson arrivals at ``rate`` requests per simulated
+    second, uniform endpoints.
+``"diurnal"``
+    Poisson arrivals whose rate is sinusoidally modulated in time
+    (period :data:`DIURNAL_PERIOD` seconds, relative amplitude
+    :data:`DIURNAL_AMPLITUDE`) — the load-varying regime adaptive
+    location-management schemes are designed against.
+``"hotspot"``
+    Poisson arrivals whose *targets* follow a Zipf law (exponent
+    :data:`ZIPF_EXPONENT`) over a hidden random permutation of the
+    node IDs: a few nodes soak up most lookups, as in real rendezvous
+    workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "DIURNAL_AMPLITUDE",
+    "DIURNAL_PERIOD",
+    "ZIPF_EXPONENT",
+    "Request",
+    "WorkloadGenerator",
+]
+
+ARRIVAL_PROCESSES = ("poisson", "diurnal", "hotspot")
+"""Recognized ``arrival_process`` names."""
+
+DIURNAL_PERIOD = 40.0
+"""Diurnal modulation period in simulated seconds."""
+
+DIURNAL_AMPLITUDE = 0.5
+"""Relative amplitude of the diurnal rate swing (peak = 1.5x mean)."""
+
+ZIPF_EXPONENT = 1.3
+"""Zipf exponent of the hotspot target distribution."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One service arrival, fully determined at generation time."""
+
+    index: int
+    """Global arrival counter (0-based, in arrival order)."""
+    step: int
+    """Metered step the arrival falls in."""
+    t: float
+    """Absolute arrival time in simulated seconds."""
+    kind: str
+    """``"lookup"`` or ``"update"``."""
+    source: int
+    """Requesting node (lookups) / registering node (updates)."""
+    target: int
+    """Node being looked up; equals ``source`` for updates."""
+    delivery_seed: int
+    """Seed of this request's private lossy-channel RNG, so retries
+    replay identically no matter which dispatcher thread runs them."""
+
+
+class WorkloadGenerator:
+    """Deterministic per-step arrival sampler.
+
+    Parameters
+    ----------
+    n:
+        Node population (endpoints are drawn from ``range(n)``).
+    rate:
+        Mean arrival rate in requests per simulated second.
+    process:
+        One of :data:`ARRIVAL_PROCESSES`.
+    dt:
+        Step duration in simulated seconds.
+    update_fraction:
+        Fraction of arrivals that are updates rather than lookups.
+    rng:
+        Dedicated generator (the engine's ``"service"`` stream).
+    """
+
+    def __init__(self, n: int, rate: float, process: str = "poisson",
+                 dt: float = 1.0, update_fraction: float = 0.2,
+                 rng: np.random.Generator | None = None):
+        if process not in ARRIVAL_PROCESSES:
+            known = ", ".join(ARRIVAL_PROCESSES)
+            raise ValueError(f"unknown arrival process {process!r}; "
+                             f"known: {known}")
+        if rate < 0:
+            raise ValueError("arrival rate must be non-negative")
+        self.n = int(n)
+        self.rate = float(rate)
+        self.process = process
+        self.dt = float(dt)
+        self.update_fraction = float(update_fraction)
+        self._rng = np.random.default_rng() if rng is None else rng
+        self._count = 0
+        # Hidden hotspot identity: which physical node is rank r of the
+        # Zipf law.  Drawn once so the hot set is stable across a run.
+        self._perm = (self._rng.permutation(self.n)
+                      if process == "hotspot" else None)
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at simulated time ``t``."""
+        if self.process != "diurnal":
+            return self.rate
+        phase = 2.0 * math.pi * t / DIURNAL_PERIOD
+        return self.rate * (1.0 + DIURNAL_AMPLITUDE * math.sin(phase))
+
+    def _draw_target(self, source: int) -> int:
+        """One lookup target != ``source`` under the process's law."""
+        while True:
+            if self._perm is not None:
+                rank = (int(self._rng.zipf(ZIPF_EXPONENT)) - 1) % self.n
+                target = int(self._perm[rank])
+            else:
+                target = int(self._rng.integers(0, self.n))
+            if target != source:
+                return target
+
+    def step(self, step: int, t0: float) -> list[Request]:
+        """Generate the arrivals of the step covering ``[t0, t0 + dt)``.
+
+        Arrivals are returned sorted by arrival time; every random
+        choice (count, offsets, kinds, endpoints, delivery seeds) comes
+        from the generator's own stream, in a fixed order.
+        """
+        lam = self.rate_at(t0 + 0.5 * self.dt) * self.dt
+        count = int(self._rng.poisson(lam)) if lam > 0 else 0
+        out: list[Request] = []
+        if count == 0:
+            return out
+        offsets = np.sort(self._rng.random(count)) * self.dt
+        for i in range(count):
+            is_update = float(self._rng.random()) < self.update_fraction
+            source = int(self._rng.integers(0, self.n))
+            target = source if is_update else self._draw_target(source)
+            seed = int(self._rng.integers(0, 2**63))
+            out.append(Request(
+                index=self._count, step=int(step),
+                t=float(t0 + offsets[i]),
+                kind="update" if is_update else "lookup",
+                source=source, target=target, delivery_seed=seed,
+            ))
+            self._count += 1
+        return out

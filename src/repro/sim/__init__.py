@@ -9,6 +9,7 @@ from repro.sim.collectors import (
     LevelSeriesCollector,
     LinkEventCollector,
     QueryCollector,
+    ServiceCollector,
     StateCollector,
     TraceCollector,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "HopSampleCollector",
     "TraceCollector",
     "QueryCollector",
+    "ServiceCollector",
     "BfsHops",
     "EuclideanHops",
     "LevelSeries",

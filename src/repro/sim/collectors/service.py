@@ -1,0 +1,40 @@
+"""Collector adapter for the open-loop service front-end.
+
+Owns the dedicated ``"service"`` RNG stream (via the front-end's
+workload generator) and contributes ``extras["service"]`` — the run's
+:class:`~repro.service.report.ServiceReport`.  Registered by the engine
+only when ``Scenario.service_enabled``; the front-end is a pure
+observer, so with it registered (or not) every other metric series is
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.collectors.base import Collector
+
+__all__ = ["ServiceCollector"]
+
+
+class ServiceCollector(Collector):
+    """Feeds each metered snapshot to a
+    :class:`~repro.service.frontend.ServiceFrontend` and reports its
+    SLOs.  Checkpoint-safe: the front-end drops its thread pool on
+    pickling and rebuilds it lazily after restore."""
+
+    name = "service"
+    phase = "diff"
+
+    def __init__(self, scenario, rng: np.random.Generator, delivery=None):
+        from repro.service import ServiceFrontend
+
+        self.frontend = ServiceFrontend(scenario, rng, delivery=delivery)
+
+    def on_step(self, snap) -> None:
+        """Run the step's open-loop workload against the snapshot."""
+        self.frontend.process_step(snap)
+
+    def finalize(self, elapsed: float) -> dict:
+        """Contribute ``service`` (the :class:`ServiceReport`)."""
+        return {"service": self.frontend.finalize()}

@@ -71,7 +71,7 @@ __all__ = [
     "print_progress",
 ]
 
-CODE_VERSION = "3"
+CODE_VERSION = "4"
 """Simulator-semantics version baked into every cache key (and every
 checkpoint).  Bump this whenever a change alters what
 :func:`repro.sim.engine.run_scenario` returns for a given scenario; old
@@ -344,6 +344,17 @@ def _serial_round(fn, tasks: dict, on_result) -> dict[int, tuple[str, str]]:
     return failed
 
 
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Forcibly terminate every live worker process of ``pool``.
+
+    Used on abnormal exits (round timeout, ``KeyboardInterrupt``): a
+    plain ``shutdown(wait=False)`` never signals workers mid-task, so a
+    hung or long-running task would orphan its process.
+    """
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        proc.terminate()
+
+
 def _parallel_round(
     fn, tasks: dict, n_workers: int, task_timeout: float | None, on_result
 ) -> dict[int, tuple[str, str]]:
@@ -400,8 +411,14 @@ def _parallel_round(
                     )
                 pending = set()
                 # Hung workers would block shutdown forever: kill them.
-                for proc in list(getattr(pool, "_processes", {}).values()):
-                    proc.terminate()
+                _terminate_workers(pool)
+    except BaseException:
+        # KeyboardInterrupt (or any other escape) must not strand live
+        # worker processes: shutdown(wait=False) alone leaves them
+        # running their current task to completion — or forever, if
+        # it hangs.  Kill the pool before propagating.
+        _terminate_workers(pool)
+        raise
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
     return failed
@@ -697,19 +714,35 @@ def cached_sweep(
     per_n = len(seeds)
     for i, n in enumerate(ns):
         chunk = results[i * per_n : (i + 1) * per_n]
+        # A metric may return None for "not measured in this run" (e.g.
+        # query_success_rate when a cell samples no queries).  Those
+        # samples are *missing*, not zero: they become NaN and are
+        # skipped by the aggregation, so a mixed grid's mean reflects
+        # only the cells that actually measured the quantity.
         samples = {
-            name: [float(fn(res)) for res in chunk] for name, fn in metrics.items()
+            name: np.array(
+                [np.nan if (v := fn(res)) is None else float(v)
+                 for res in chunk],
+                dtype=float,
+            )
+            for name, fn in metrics.items()
         }
         points.append(
             SweepPoint(
                 n=int(n),
-                values={k: float(np.mean(v)) for k, v in samples.items()},
-                stds={k: float(np.std(v)) for k, v in samples.items()},
+                values={k: _nan_skip(v, np.mean) for k, v in samples.items()},
+                stds={k: _nan_skip(v, np.std) for k, v in samples.items()},
                 seeds=per_n,
                 results=tuple(chunk) if keep_results else (),
             )
         )
     return points
+
+
+def _nan_skip(samples: "np.ndarray", agg) -> float:
+    """Aggregate ``samples`` ignoring NaN; NaN when nothing measured."""
+    kept = samples[~np.isnan(samples)]
+    return float(agg(kept)) if kept.size else float("nan")
 
 
 def parallel_map(

@@ -1,8 +1,15 @@
 """Tests for the expanding-ring fallback and query metering."""
 
+import math
+
 import pytest
 
 from repro.faults import QueryLedger, expanding_ring_cost
+
+
+def _ring(radius, n=10_000, density=0.02, r_tx=10.0):
+    """Nodes inside one ring under the fixed-density geometry."""
+    return min(n, math.ceil(density * math.pi * (radius * r_tx) ** 2))
 
 
 class TestExpandingRingCost:
@@ -28,6 +35,27 @@ class TestExpandingRingCost:
         cost = expanding_ring_cost(64, n, 0.02, 10.0)
         rounds = 8  # TTL 1, 2, 4, ..., 64 -> ceil(log2 64) + 1 rounds
         assert cost <= rounds * n
+
+    def test_rejects_degenerate_geometry_even_for_zero_hops(self):
+        # Regression: the zero-hop early return used to preempt
+        # validation, silently metering degenerate sweep cells at 0.
+        for hops in (0, -3):
+            with pytest.raises(ValueError):
+                expanding_ring_cost(hops, 0, 0.02, 10.0)
+            with pytest.raises(ValueError):
+                expanding_ring_cost(hops, 100, -1.0, 10.0)
+
+    def test_final_ring_clamped_to_target(self):
+        # Regression: target 5 floods TTL 1, 2, 4, then a final ring
+        # clamped to radius 5 — not the unclamped doubling to 8.
+        assert expanding_ring_cost(5, 10_000, 0.02, 10.0) == (
+            _ring(1) + _ring(2) + _ring(4) + _ring(5))
+        # Power-of-two targets need no clamp and are unchanged.
+        assert expanding_ring_cost(8, 10_000, 0.02, 10.0) == (
+            _ring(1) + _ring(2) + _ring(4) + _ring(8))
+        # The clamp only ever removes cost.
+        assert (expanding_ring_cost(5, 10_000, 0.02, 10.0)
+                < expanding_ring_cost(8, 10_000, 0.02, 10.0))
 
     def test_far_target_costs_more_than_one_flood(self):
         # The restart-per-round semantics: reaching hop 8 pays rings

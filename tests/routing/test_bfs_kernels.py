@@ -303,6 +303,33 @@ class TestLaziness:
             fab.forward(0, int(d))
         assert len(fab._l0_cache) <= 8
 
+    def test_nh_cache_bounded_under_mixed_level_stream(self):
+        # Regression: cluster-level (k >= 1) floods used to accumulate
+        # without bound — only level 0 had the LRU.  A long message
+        # stream crossing clusters at every level must stay inside both
+        # budgets.
+        g, h = make_stack(120, 3)
+        fab = ForwardingFabric(h, g, l0_cache_entries=8, nh_cache_entries=4)
+        rng = np.random.default_rng(3)
+        for s, d in rng.integers(0, 120, size=(300, 2)).tolist():
+            fab.forward(int(s), int(d))
+        assert 0 < len(fab._nh_cache) <= 4
+        assert len(fab._l0_cache) <= 8
+
+    def test_nh_cache_eviction_does_not_change_delivery(self):
+        # LRU eviction is a cost, never a behavior change: a tightly
+        # bounded fabric must forward exactly like an unbounded one.
+        g, h = make_stack(100, 3)
+        loose = ForwardingFabric(h, g)
+        tight = ForwardingFabric(h, g, l0_cache_entries=2, nh_cache_entries=1)
+        rng = np.random.default_rng(4)
+        for s, d in rng.integers(0, 100, size=(60, 2)).tolist():
+            a = loose.forward(int(s), int(d))
+            b = tight.forward(int(s), int(d))
+            assert a.delivered == b.delivered
+            assert a.path == b.path
+        assert np.array_equal(loose.table_sizes(), tight.table_sizes())
+
     def test_unknown_node_raises(self):
         g, h = make_stack(50, 0)
         fab = ForwardingFabric(h, g)

@@ -1,0 +1,95 @@
+"""Tests for the deterministic backpressure primitives: token-bucket
+admission and the bounded multi-server FIFO queue."""
+
+import pytest
+
+from repro.service import QueueDecision, ServiceQueue, TokenBucket
+
+
+class TestTokenBucket:
+    def test_rate_zero_admits_everything(self):
+        bucket = TokenBucket(rate=0.0)
+        assert all(bucket.admit(t * 0.001) for t in range(1000))
+        assert bucket.shed == 0
+
+    def test_burst_then_shed(self):
+        """A full bucket admits one burst's worth instantly, then sheds
+        until tokens refill."""
+        bucket = TokenBucket(rate=10.0)  # burst defaults to 10 tokens
+        admitted = sum(bucket.admit(0.0) for _ in range(25))
+        assert admitted == 10
+        assert bucket.shed == 15
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=10.0)
+        for _ in range(10):
+            assert bucket.admit(0.0)
+        assert not bucket.admit(0.0)
+        # 0.5 s later: 5 new tokens.
+        assert sum(bucket.admit(0.5) for _ in range(10)) == 5
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=3.0)
+        assert sum(bucket.admit(100.0) for _ in range(10)) == 3
+
+    def test_steady_stream_at_rate_passes(self):
+        bucket = TokenBucket(rate=10.0)
+        times = [i * 0.1 for i in range(200)]  # exactly 10/s
+        assert all(bucket.admit(t) for t in times)
+
+
+class TestServiceQueue:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="worker"):
+            ServiceQueue(0, 4)
+        with pytest.raises(ValueError, match="capacity"):
+            ServiceQueue(1, 0)
+
+    def test_free_worker_starts_immediately(self):
+        q = ServiceQueue(workers=2, capacity=4)
+        d = q.submit(1.0, 0.5)
+        assert d == QueueDecision(accepted=True, start=1.0, completion=1.5)
+        assert q.depth(1.0) == 0
+
+    def test_fifo_wait_when_busy(self):
+        q = ServiceQueue(workers=1, capacity=4)
+        q.submit(0.0, 1.0)
+        d2 = q.submit(0.1, 1.0)
+        d3 = q.submit(0.2, 1.0)
+        assert (d2.start, d2.completion) == (1.0, 2.0)
+        assert (d3.start, d3.completion) == (2.0, 3.0)
+        assert q.depth(0.5) == 2  # both still waiting
+        assert q.depth(1.5) == 1  # one started
+        assert q.depth(2.5) == 0
+
+    def test_multi_server_parallelism(self):
+        q = ServiceQueue(workers=2, capacity=4)
+        a = q.submit(0.0, 1.0)
+        b = q.submit(0.0, 1.0)
+        c = q.submit(0.0, 1.0)
+        assert a.start == b.start == 0.0
+        assert c.start == 1.0  # third waits for the earliest-free worker
+
+    def test_bounded_backlog_drops(self):
+        q = ServiceQueue(workers=1, capacity=2)
+        q.submit(0.0, 10.0)
+        assert q.submit(0.0, 1.0).accepted  # backlog 1
+        assert q.submit(0.0, 1.0).accepted  # backlog 2 (at capacity)
+        d = q.submit(0.0, 1.0)
+        assert not d.accepted
+        assert q.dropped == 1
+        # A dropped request must not occupy a worker.
+        assert q.submit(30.0, 1.0).start == 30.0
+
+    def test_backlog_drains_then_accepts_again(self):
+        q = ServiceQueue(workers=1, capacity=1)
+        q.submit(0.0, 1.0)
+        q.submit(0.0, 1.0)
+        assert not q.submit(0.0, 1.0).accepted
+        # After the backlog drains, arrivals are accepted again.
+        assert q.submit(5.0, 1.0).accepted
+
+    def test_zero_service_time_clamped(self):
+        q = ServiceQueue(workers=1, capacity=1)
+        d = q.submit(0.0, -3.0)
+        assert d.completion == d.start == 0.0

@@ -1,0 +1,79 @@
+"""Tests for the service SLO report: percentiles, derived rates, and
+the flat metrics view manifests consume."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.service import ServiceReport
+
+
+def _report(**over):
+    kw = dict(duration=10.0, offered=8, shed=1, dropped=1,
+              lookups=4, updates=2, direct_hits=3, fallback_hits=1,
+              failed=0, packets=40,
+              latencies=[0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+              waits=[0.0, 0.0, 0.1, 0.1, 0.2, 0.2],
+              queue_depth_series=[0, 2, 1, 0])
+    kw.update(over)
+    return ServiceReport(**kw)
+
+
+class TestDerived:
+    def test_counts(self):
+        rep = _report()
+        assert rep.served == 6
+        assert rep.admitted == 7
+        assert rep.throughput == pytest.approx(0.6)
+        assert rep.peak_queue_depth == 2
+
+    def test_percentiles_match_numpy(self):
+        rep = _report()
+        lats = np.asarray(rep.latencies)
+        assert rep.p50 == pytest.approx(np.percentile(lats, 50))
+        assert rep.p95 == pytest.approx(np.percentile(lats, 95))
+        assert rep.p99 == pytest.approx(np.percentile(lats, 99))
+        assert rep.mean_latency == pytest.approx(0.35)
+        assert rep.mean_wait == pytest.approx(0.1)
+
+    def test_success_rate(self):
+        assert _report().success_rate == 1.0
+        assert _report(failed=4).success_rate == 0.5
+        # No served lookups at all: vacuous success, not a zero.
+        assert _report(direct_hits=0, fallback_hits=0).success_rate == 1.0
+
+
+class TestIdleReport:
+    def test_idle_is_nan_not_zero(self):
+        rep = ServiceReport(duration=10.0)
+        assert rep.served == 0
+        assert rep.throughput == 0.0
+        assert math.isnan(rep.p50)
+        assert math.isnan(rep.p99)
+        assert math.isnan(rep.mean_latency)
+        assert math.isnan(rep.mean_wait)
+        assert rep.latency_histogram() == ([], [])
+
+    def test_zero_duration_throughput(self):
+        assert ServiceReport(duration=0.0).throughput == 0.0
+
+
+class TestViews:
+    def test_histogram_covers_every_sample(self):
+        rep = _report()
+        counts, edges = rep.latency_histogram(bins=5)
+        assert sum(counts) == rep.served
+        assert len(edges) == 6
+        assert edges[0] == pytest.approx(min(rep.latencies))
+        assert edges[-1] == pytest.approx(max(rep.latencies))
+
+    def test_to_metrics_is_flat_and_complete(self):
+        m = _report().to_metrics()
+        assert all(k.startswith("service_") for k in m)
+        assert all(isinstance(v, float) for v in m.values())
+        assert m["service_offered"] == 8.0
+        assert m["service_served"] == 6.0
+        assert m["service_shed"] == 1.0
+        assert m["service_dropped"] == 1.0
+        assert m["service_p99_latency"] == pytest.approx(_report().p99)

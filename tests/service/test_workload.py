@@ -1,0 +1,123 @@
+"""Tests for the open-loop workload generator: determinism, process
+shapes, and the request-stream invariants the dispatcher relies on."""
+
+import numpy as np
+import pytest
+
+from repro.service import WorkloadGenerator
+from repro.service.workload import (
+    DIURNAL_AMPLITUDE,
+    DIURNAL_PERIOD,
+    Request,
+)
+
+
+def _drain(gen, steps=20, dt=1.0):
+    out = []
+    for s in range(steps):
+        out.extend(gen.step(s, s * dt))
+    return out
+
+
+def _gen(seed=0, **over):
+    kw = dict(n=50, rate=20.0, process="poisson", dt=1.0,
+              update_fraction=0.2, rng=np.random.default_rng(seed))
+    kw.update(over)
+    return WorkloadGenerator(**kw)
+
+
+class TestValidation:
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ValueError, match="arrival process"):
+            _gen(process="bursty")
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            _gen(rate=-1.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = _drain(_gen(seed=42))
+        b = _drain(_gen(seed=42))
+        assert a == b
+
+    def test_different_seed_different_stream(self):
+        assert _drain(_gen(seed=1)) != _drain(_gen(seed=2))
+
+    def test_hotspot_and_diurnal_deterministic(self):
+        for process in ("hotspot", "diurnal"):
+            assert _drain(_gen(seed=9, process=process)) == \
+                _drain(_gen(seed=9, process=process))
+
+
+class TestStreamInvariants:
+    def test_arrivals_sorted_and_indexed(self):
+        reqs = _drain(_gen(seed=3))
+        assert [r.index for r in reqs] == list(range(len(reqs)))
+        assert all(isinstance(r, Request) for r in reqs)
+        times = [r.t for r in reqs]
+        assert times == sorted(times)
+
+    def test_arrival_times_fall_inside_their_step(self):
+        gen = _gen(seed=3, dt=0.5)
+        for s in range(10):
+            for r in gen.step(s, s * 0.5):
+                assert s * 0.5 <= r.t < (s + 1) * 0.5
+                assert r.step == s
+
+    def test_lookup_targets_never_self(self):
+        for process in ("poisson", "hotspot"):
+            for r in _drain(_gen(seed=5, process=process, n=4)):
+                if r.kind == "lookup":
+                    assert r.target != r.source
+                else:
+                    assert r.target == r.source
+
+    def test_update_fraction_extremes(self):
+        assert all(r.kind == "lookup"
+                   for r in _drain(_gen(seed=7, update_fraction=0.0)))
+        assert all(r.kind == "update"
+                   for r in _drain(_gen(seed=7, update_fraction=1.0)))
+
+    def test_mean_count_tracks_rate(self):
+        lo = len(_drain(_gen(seed=11, rate=5.0), steps=40))
+        hi = len(_drain(_gen(seed=11, rate=50.0), steps=40))
+        assert 100 < lo < 300  # ~200 expected
+        assert 1600 < hi < 2400  # ~2000 expected
+
+    def test_zero_rate_generates_nothing(self):
+        assert _drain(_gen(rate=0.0)) == []
+
+
+class TestProcesses:
+    def test_diurnal_rate_modulates_around_mean(self):
+        gen = _gen(process="diurnal", rate=40.0)
+        peak_t = DIURNAL_PERIOD / 4.0
+        trough_t = 3.0 * DIURNAL_PERIOD / 4.0
+        assert gen.rate_at(peak_t) == pytest.approx(
+            40.0 * (1.0 + DIURNAL_AMPLITUDE))
+        assert gen.rate_at(trough_t) == pytest.approx(
+            40.0 * (1.0 - DIURNAL_AMPLITUDE))
+        # One full period averages back to the configured mean.
+        ts = np.linspace(0.0, DIURNAL_PERIOD, 1000, endpoint=False)
+        assert np.mean([gen.rate_at(t) for t in ts]) == pytest.approx(
+            40.0, rel=1e-3)
+
+    def test_poisson_rate_is_flat(self):
+        gen = _gen(process="poisson", rate=40.0)
+        assert {gen.rate_at(t) for t in (0.0, 7.3, 100.0)} == {40.0}
+
+    def test_hotspot_targets_are_skewed(self):
+        """Zipf targets concentrate: the most popular target of the
+        hotspot stream must soak up far more lookups than the most
+        popular target of the uniform stream."""
+
+        def top_share(process):
+            reqs = [r for r in _drain(_gen(seed=13, process=process,
+                                           rate=100.0, n=200), steps=30)
+                    if r.kind == "lookup"]
+            counts = np.bincount([r.target for r in reqs], minlength=200)
+            return counts.max() / counts.sum()
+
+        assert top_share("hotspot") > 3.0 * top_share("poisson")

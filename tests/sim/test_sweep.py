@@ -187,6 +187,36 @@ class TestCachedSweepShapes:
         assert all(type(p.n) is int for p in points)
 
 
+class TestMissingMetricAggregation:
+    """Regression: a metric returning None ("not measured in this run")
+    used to crash ``float()`` or get zeroed via ``or 0.0`` wrappers,
+    dragging down mixed-grid means.  None now propagates as NaN and is
+    skipped by the aggregation."""
+
+    METRICS = {"succ": lambda r: r.query_success_rate,
+               "phi": lambda r: r.phi}
+
+    def test_unmeasured_cells_skip_not_zero(self):
+        # n=60 samples queries; n=90 samples none.  The no-query point
+        # must report NaN — not 0.0, which would poison grid-wide
+        # averages downstream.
+        def per_n(sc, n):
+            return replace(sc, queries_per_step=3 if n == 60 else 0)
+
+        lo, hi = cached_sweep([60, 90], BASE, self.METRICS, seeds=(0, 1),
+                              scenario_for=per_n, keep_results=True)
+        rates = [r.query_success_rate for r in lo.results]
+        assert all(r is not None for r in rates)
+        assert lo.values["succ"] == float(np.mean(rates))
+        assert all(r.query_success_rate is None for r in hi.results)
+        assert np.isnan(hi.values["succ"])
+        assert np.isnan(hi.stds["succ"])
+        # Metrics measured everywhere aggregate exactly as before.
+        for p in (lo, hi):
+            assert p.values["phi"] == float(
+                np.mean([r.phi for r in p.results]))
+
+
 class TestScenarioKey:
     def test_stable(self):
         assert scenario_key(BASE, 4) == scenario_key(replace(BASE), 4)

@@ -52,6 +52,18 @@ def _hang(_x):
     time.sleep(600)
 
 
+def _report_pid_then_finish(outdir):
+    """Drop a pid marker, simulate work, then drop a completion marker.
+
+    A worker that survives an interrupt untreated finishes the "work"
+    and writes the ``.done`` file; a terminated one never does."""
+    base = os.path.join(outdir, str(os.getpid()))
+    open(base + ".pid", "w").close()
+    time.sleep(2.0)
+    open(base + ".done", "w").close()
+    return "finished"
+
+
 class TestCrashRecovery:
     def test_killed_worker_is_retried_and_succeeds(self, tmp_path):
         sentinel = str(tmp_path / "crashed-once")
@@ -86,6 +98,37 @@ class TestTimeout:
         (err,) = ei.value.run.errors
         assert err.kind == "timeout"
         assert "task_timeout" in err.message
+
+
+class TestInterruptTeardown:
+    def test_keyboard_interrupt_terminates_workers(self, tmp_path,
+                                                   monkeypatch):
+        """Regression: Ctrl-C used to tear down workers only in the
+        timeout branch; any other exit left them running their tasks as
+        orphans.  An interrupt mid-round must kill every live worker."""
+        import repro.sim.sweep as sweep_mod
+
+        def interrupting_wait(pending, timeout=None, return_when=None):
+            # Let both workers start (pid markers appear), then act as
+            # if the user hit Ctrl-C while the round was in flight.
+            deadline = time.monotonic() + 30.0
+            while len(list(tmp_path.glob("*.pid"))) < 2:
+                if time.monotonic() > deadline:  # pragma: no cover
+                    raise AssertionError("workers never started")
+                time.sleep(0.02)
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(sweep_mod, "wait", interrupting_wait)
+        with pytest.raises(KeyboardInterrupt):
+            sweep_mod._parallel_round(
+                _report_pid_then_finish,
+                {0: str(tmp_path), 1: str(tmp_path)},
+                2, None, lambda i, res: None)
+        # Terminated workers die inside the sleep and never write the
+        # completion marker; orphans would write it ~2s after starting.
+        time.sleep(2.5)
+        assert len(list(tmp_path.glob("*.pid"))) == 2
+        assert list(tmp_path.glob("*.done")) == []
 
 
 class TestExceptionRetries:

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.gls",
     "repro.core",
     "repro.sim",
+    "repro.service",
     "repro.analysis",
     "repro.experiments",
     "repro.app",
