@@ -137,6 +137,53 @@ def test_bench_fabric_incremental(benchmark):
     assert stats.rows_reused > 0  # the update actually reused flood state
 
 
+def _hierarchy_bench_state(n=400, drift=0.15):
+    """Two consecutive snapshots of a drifting deployment (the
+    simulator's steady state): positions + canonical edge arrays."""
+    region = disc_for_density(n, DENSITY)
+    r_tx = radius_for_degree(DEGREE, DENSITY)
+    rng = np.random.default_rng(0)
+    pts0 = region.sample(n, rng)
+    pts1 = pts0 + rng.normal(scale=drift, size=pts0.shape)
+    e0 = unit_disk_edges(pts0, r_tx)
+    e1 = unit_disk_edges(pts1, r_tx)
+    return r_tx, (pts0, e0), (pts1, e1)
+
+
+def test_bench_hierarchy_full_rebuild(benchmark):
+    """Baseline for the event plane: from-scratch build_hierarchy on the
+    steady-state snapshot (what every non-incremental step pays)."""
+    n = 400
+    r_tx, _, (pts1, e1) = _hierarchy_bench_state(n)
+    h = benchmark(build_hierarchy, np.arange(n), e1, max_levels=3,
+                  level_mode="radio", positions=pts1, r0=r_tx)
+    assert h.num_levels >= 2
+
+
+def test_bench_hierarchy_incremental(benchmark):
+    """Steady-state hierarchy maintenance: one DeltaPlane.advance()
+    under a small mobility drift — re-votes only the affected-node
+    closure.  The budget gate (HIERARCHY_BUDGET < 1) pins this cheaper
+    than the full re-election it replaces."""
+    from repro.hierarchy import DeltaPlane
+
+    n = 400
+    r_tx, (pts0, e0), (pts1, e1) = _hierarchy_bench_state(n)
+
+    def make_state():
+        plane = DeltaPlane(n, max_levels=3, level_mode="radio", r0=r_tx)
+        plane.advance(e0, pts0)
+        return (plane,), {}
+
+    def one_advance(plane):
+        h = plane.advance(e1, pts1)
+        plane.delta()  # the step's full cost includes the delta
+        return h
+
+    h = benchmark.pedantic(one_advance, setup=make_state, rounds=5)
+    assert h.num_levels >= 2
+
+
 def test_bench_simulator_step(benchmark):
     from repro.sim import Scenario, Simulator
 

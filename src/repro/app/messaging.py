@@ -61,17 +61,43 @@ class MessagingService:
         steps by a :class:`~repro.routing.fabric_cache.FabricCache` fed
         with the step's link events, instead of being rebuilt from
         scratch per snapshot.  Results are bit-identical either way.
+    incremental_hierarchy:
+        When True, the *control plane* goes event-driven too: unit-disk
+        edges come from a Verlet candidate cache, the ALCA hierarchy is
+        patched per level from link deltas
+        (:class:`~repro.hierarchy.delta.DeltaPlane`), the handoff engine
+        re-hashes only dirty descent chains, and the fabric cache is fed
+        the same dirty-cluster sets instead of re-diffing ancestry.
+        Results are bit-identical either way; requires the rendezvous
+        hash.
     """
 
     def __init__(self, n: int, r_tx: float, max_levels: int | None = None,
-                 hash_fn: str = "rendezvous", incremental: bool = True):
+                 hash_fn: str = "rendezvous", incremental: bool = True,
+                 incremental_hierarchy: bool = False):
         if n <= 1 or r_tx <= 0:
             raise ValueError("need n > 1 and a positive radius")
+        if incremental_hierarchy and hash_fn != "rendezvous":
+            raise ValueError(
+                "incremental_hierarchy patches rendezvous descent chains; "
+                f"hash_fn={hash_fn!r} is not supported"
+            )
         self.n = int(n)
         self.r_tx = float(r_tx)
         self.max_levels = max_levels
         self.incremental = bool(incremental)
-        self._engine = HandoffEngine(hash_fn=hash_fn)
+        self.incremental_hierarchy = bool(incremental_hierarchy)
+        self._engine = HandoffEngine(hash_fn=hash_fn,
+                                     incremental=self.incremental_hierarchy)
+        self._delta_plane = None
+        self._edge_cache = None
+        if self.incremental_hierarchy:
+            from repro.hierarchy.delta import DeltaPlane
+            from repro.radio.edge_cache import VerletEdgeCache
+
+            self._delta_plane = DeltaPlane(self.n, max_levels=max_levels,
+                                           level_mode="radio", r0=self.r_tx)
+            self._edge_cache = VerletEdgeCache(self.r_tx)
         self._tracker = LinkTracker(self.n)
         self._fabric_cache = FabricCache()
         self._hierarchy: ClusteredHierarchy | None = None
@@ -96,19 +122,34 @@ class MessagingService:
         pts = np.asarray(positions, dtype=np.float64)
         if pts.shape[0] != self.n:
             raise ValueError("positions must cover all nodes")
-        edges = unit_disk_edges(pts, self.r_tx)
-        h = build_hierarchy(np.arange(self.n), edges,
-                            max_levels=self.max_levels,
-                            level_mode="radio", positions=pts, r0=self.r_tx)
+        if self._edge_cache is not None:
+            edges = self._edge_cache.edges(pts)
+        else:
+            edges = unit_disk_edges(pts, self.r_tx)
+        delta = None
+        if self._delta_plane is not None:
+            h = self._delta_plane.advance(edges, pts)
+            delta = self._delta_plane.delta()
+        else:
+            h = build_hierarchy(np.arange(self.n), edges,
+                                max_levels=self.max_levels,
+                                level_mode="radio", positions=pts,
+                                r0=self.r_tx)
         # Database = what was current before this update.
         self._db_hierarchy = self._hierarchy
         self._db_assignment = self._engine.assignment
-        self._engine.observe(h, hop_fn)
+        self._engine.observe(h, hop_fn, delta=delta)
         self._hierarchy = h
         self._graph = CompactGraph(np.arange(self.n), edges)
         if self.incremental:
             diff = self._tracker.observe(edges)
-            self._fabric = self._fabric_cache.update(h, self._graph, diff)
+            dirty = (
+                delta.dirty_sets()
+                if delta is not None and not delta.full
+                else None
+            )
+            self._fabric = self._fabric_cache.update(h, self._graph, diff,
+                                                     dirty=dirty)
         else:
             self._fabric = ForwardingFabric(h, self._graph)
 

@@ -69,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["memoryless", "sticky", "persistent"])
     p_sim.add_argument("--hops", default="auto",
                        choices=["auto", "bfs", "euclidean"])
+    p_sim.add_argument("--incremental-hierarchy",
+                       action=argparse.BooleanOptionalAction, default=False,
+                       help="event-driven control plane: patch the ALCA "
+                            "hierarchy and descent chains from link deltas "
+                            "instead of rebuilding per step (bit-identical "
+                            "results; requires memoryless LCA elections)")
     p_sim.add_argument("--loss-rate", type=float, default=0.0,
                        help="per-hop control-packet loss probability "
                             "(default 0 = lossless)")
@@ -137,6 +143,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="hierarchy depth cap (default: log-scaled)")
     p_srv.add_argument("--hops", default="euclidean",
                        choices=["auto", "bfs", "euclidean"])
+    p_srv.add_argument("--incremental-hierarchy",
+                       action=argparse.BooleanOptionalAction, default=False,
+                       help="event-driven control plane: patch the ALCA "
+                            "hierarchy and descent chains from link deltas "
+                            "instead of rebuilding per step (bit-identical "
+                            "results)")
     p_srv.add_argument("--arrival-rate", type=float, default=50.0,
                        help="mean service arrivals per simulated second "
                             "(default 50; must be > 0)")
@@ -191,6 +203,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--degree", type=float, default=9.0)
     p_sw.add_argument("--hops", default="euclidean",
                       choices=["auto", "bfs", "euclidean"])
+    p_sw.add_argument("--incremental-hierarchy",
+                      action=argparse.BooleanOptionalAction, default=False,
+                      help="event-driven control plane for every task "
+                           "(bit-identical results; cached under a "
+                           "distinct key)")
     p_sw.add_argument("--loss-rate", type=float, default=0.0,
                       help="per-hop control-packet loss probability "
                            "(default 0 = lossless)")
@@ -337,6 +354,7 @@ def _cmd_simulate(args) -> int:
         election_mode=args.election, hop_mode=args.hops,
         loss_rate=args.loss_rate, retry_attempts=args.retry_attempts,
         chaos=tuple(args.chaos or ()), invariant_mode=args.invariant_mode,
+        incremental_hierarchy=args.incremental_hierarchy,
     )
     if args.preset:
         from repro.sim import make_scenario
@@ -458,6 +476,7 @@ def _cmd_serve(args) -> int:
         service_queue_capacity=args.queue_capacity,
         service_update_fraction=args.update_fraction,
         service_scheme=args.scheme,
+        incremental_hierarchy=args.incremental_hierarchy,
     )
     if args.preset:
         from repro.sim import make_scenario
@@ -548,6 +567,7 @@ def _cmd_sweep(args) -> int:
         dt=args.dt, density=args.density, target_degree=args.degree,
         hop_mode=args.hops,
         loss_rate=args.loss_rate, retry_attempts=args.retry_attempts,
+        incremental_hierarchy=args.incremental_hierarchy,
     )
     lossy = base.faults_enabled
     metrics = {
@@ -597,6 +617,7 @@ def _cmd_sweep(args) -> int:
             "ns": list(ns), "seeds": list(seeds), "steps": args.steps,
             "speed": args.speed, "dt": args.dt, "density": args.density,
             "target_degree": args.degree, "hop_mode": args.hops,
+            "incremental_hierarchy": args.incremental_hierarchy,
         })
         print(f"points written to {args.json}")
     return 0

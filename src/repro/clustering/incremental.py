@@ -1,0 +1,128 @@
+"""Incremental LCA election — the event-driven ALCA reading.
+
+The paper's ALCA is *asynchronous*: clusterhead status is re-evaluated
+only where the topology actually changed, not by a global re-election
+sweep.  :class:`IncrementalElection` is the computational mirror of that
+rule for one level: it holds the election state of a fixed node set and
+*patches* it from link deltas, touching only the closed neighborhoods of
+edge endpoints.
+
+Correctness rests on two invariants of :func:`repro.clustering.lca.elect`:
+
+* ``elected_head[u]`` is a pure function of u's closed neighborhood
+  (``max(u, neighbors)``), so after a batch of link events only the
+  endpoints of added/removed edges can change their vote;
+* every derived field follows from the vote multiset.  With
+  ``support[v] = #{u : elected_head[u] == v}`` (self-votes included):
+
+  - ``clusterheads``  = ids with positive support,
+  - ``member_of``     = own id for heads, else ``elected_head``,
+  - ``elector_count`` = ``support - [elected_head == id]`` (a non-self
+    voter is necessarily a neighbor, which is exactly what the per-edge
+    scatter in :func:`elect` counts).
+
+:meth:`snapshot` therefore returns an :class:`Election` **bit-identical**
+to a from-scratch ``elect(node_ids, edges)`` on the current topology —
+the equivalence the fuzz harness in
+``tests/clustering/test_incremental_election.py`` enforces over random
+churn, crash, and partition bursts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.lca import Election, elect
+
+__all__ = ["IncrementalElection"]
+
+
+class IncrementalElection:
+    """Maintains one level's LCA election under link churn.
+
+    Parameters
+    ----------
+    node_ids:
+        The level's node IDs (fixed for the lifetime of the instance;
+        topology changes arrive as edge events only — a "crashed" node
+        simply loses all its links).
+    edges:
+        Initial ``(m, 2)`` edge array (ID pairs, no self-loops).
+    """
+
+    def __init__(self, node_ids, edges):
+        base = elect(node_ids, edges)
+        self._ids = base.node_ids
+        self._elected = base.elected_head.copy()
+        # support[i] = number of nodes (self included) voting for ids[i].
+        self._support = np.zeros(self._ids.size, dtype=np.int64)
+        np.add.at(self._support, self._index(self._elected), 1)
+        # Adjacency as id -> set of neighbor ids (python sets: the churn
+        # working set is O(events * degree), never O(n)).
+        self._adj: dict[int, set[int]] = {int(v): set() for v in self._ids.tolist()}
+        for u, v in np.asarray(edges, dtype=np.int64).reshape(-1, 2).tolist():
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+
+    # -- internals -----------------------------------------------------------
+
+    def _index(self, ids_arr: np.ndarray) -> np.ndarray:
+        return np.searchsorted(self._ids, ids_arr)
+
+    @property
+    def node_ids(self) -> np.ndarray:
+        return self._ids
+
+    # -- event ingestion -----------------------------------------------------
+
+    def apply(self, ups, downs) -> None:
+        """Apply one batch of link events (``(k, 2)`` ID-pair arrays).
+
+        Only the closed neighborhoods of event endpoints are re-voted;
+        the support array absorbs each vote change in O(1).
+        """
+        ups = np.asarray(ups, dtype=np.int64).reshape(-1, 2)
+        downs = np.asarray(downs, dtype=np.int64).reshape(-1, 2)
+        affected: set[int] = set()
+        for u, v in downs.tolist():
+            self._adj[u].discard(v)
+            self._adj[v].discard(u)
+            affected.add(u)
+            affected.add(v)
+        for u, v in ups.tolist():
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            affected.add(u)
+            affected.add(v)
+        if not affected:
+            return
+        nodes = np.fromiter(affected, dtype=np.int64, count=len(affected))
+        idx = self._index(nodes)
+        for w, i in zip(nodes.tolist(), idx.tolist()):
+            neigh = self._adj[w]
+            new_vote = max(neigh) if neigh else w
+            if new_vote < w:
+                new_vote = w
+            old_vote = int(self._elected[i])
+            if new_vote != old_vote:
+                self._support[self._index(np.int64(old_vote))] -= 1
+                self._support[self._index(np.int64(new_vote))] += 1
+                self._elected[i] = new_vote
+
+    # -- views ---------------------------------------------------------------
+
+    def snapshot(self) -> Election:
+        """The current election, bit-identical to ``elect(ids, edges)``.
+
+        The returned object owns fresh arrays (except the immutable
+        ``node_ids``), so snapshots from consecutive steps can be diffed
+        safely while this instance keeps mutating.
+        """
+        has_support = self._support > 0
+        return Election(
+            node_ids=self._ids,
+            elected_head=self._elected.copy(),
+            member_of=np.where(has_support, self._ids, self._elected),
+            elector_count=self._support - (self._elected == self._ids),
+            clusterheads=self._ids[has_support],
+        )

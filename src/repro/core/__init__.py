@@ -23,9 +23,12 @@ from repro.core.hashing import (
 )
 from repro.core.query import QueryResult, resolve
 from repro.core.servers import (
+    ChainedAssignment,
     ServerAssignment,
+    assignment_with_chains,
     full_assignment,
     lm_levels,
+    patch_assignment,
     select_server,
 )
 
@@ -46,8 +49,11 @@ __all__ = [
     "rendezvous_choice",
     "QueryResult",
     "resolve",
+    "ChainedAssignment",
     "ServerAssignment",
+    "assignment_with_chains",
     "full_assignment",
+    "patch_assignment",
     "lm_levels",
     "select_server",
 ]

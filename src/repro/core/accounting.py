@@ -150,3 +150,21 @@ class OverheadLedger:
                 self.reorg_event_counts.items(), key=lambda kv: (kv[0][1], kv[0][0].value)
             )
         }
+
+    def reorg_event_breakdown(self) -> dict[str, dict[str, float]]:
+        """Per-kind (i)-(vii) totals summed over levels.
+
+        Answers Section 5's taxonomy question directly — *which* event
+        type dominates gamma.  Keys are the roman-numeral
+        :class:`EventKind` values (JSON-safe for manifests and sweep
+        reports); each entry carries the raw count and the per-node
+        per-second rate.
+        """
+        counts: dict[str, int] = {}
+        for (kind, _level), v in self.reorg_event_counts.items():
+            counts[kind.value] = counts.get(kind.value, 0) + int(v)
+        order = [k.value for k in EventKind if k is not EventKind.MIGRATION]
+        return {
+            key: {"count": counts[key], "rate": self._rate(counts[key])}
+            for key in order if key in counts
+        }

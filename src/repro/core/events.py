@@ -25,6 +25,13 @@ The detector classifies iii vs v (and iv vs vi) by checking whether the
 responsible elector itself entered (resp. left) the level-(k-1) node set
 in the same step, which is exactly the recursion the paper's Eq. (15)
 chain quantifies.
+
+The detector is event-sized: every per-node python loop below runs over
+*changed* rows only (vectorized masks pick them out first), so a
+steady-state step with few topology events costs little more than the
+ancestry comparisons themselves.  Event lists keep the exact order the
+original per-element scan produced, so traces diff clean across the
+incremental/full hierarchy paths.
 """
 
 from __future__ import annotations
@@ -116,8 +123,52 @@ class HierarchyDiff:
         return counts
 
 
-def _edge_set(edges: np.ndarray) -> set[tuple[int, int]]:
-    return {tuple(e) for e in np.asarray(edges, dtype=np.int64).tolist()}
+def _isin_sorted(sorted_ids: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Membership of ``values`` in a sorted unique id array."""
+    if sorted_ids.size == 0:
+        return np.zeros(np.shape(values), dtype=bool)
+    pos = np.minimum(
+        np.searchsorted(sorted_ids, values), sorted_ids.size - 1
+    )
+    return sorted_ids[pos] == values
+
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+_EMPTY_EDGES = np.empty((0, 2), dtype=np.int64)
+
+
+def _edge_diffs(e0: np.ndarray, e1: np.ndarray):
+    """(e1 - e0, e0 - e1) as edge arrays in ascending (u, v) lex order.
+
+    Canonical edge arrays encode to unique keys ``u * big + v``; the
+    sorted key set-diffs decode back in exactly the order the legacy
+    ``sorted(set(tuples))`` scan produced.  Falls back to python sets
+    for ids large enough to overflow the encoding (never the case for
+    level node IDs drawn from base IDs, but kept for safety).
+    """
+    hi = max(
+        int(e0.max(initial=-1)),
+        int(e1.max(initial=-1)),
+    )
+    lo = min(int(e0.min(initial=0)), int(e1.min(initial=0)))
+    big = hi + 1
+    if lo < 0 or big >= 2**31:  # pragma: no cover - exotic id ranges
+        s0 = {tuple(e) for e in e0.tolist()}
+        s1 = {tuple(e) for e in e1.tolist()}
+        up = np.asarray(sorted(s1 - s0), dtype=np.int64).reshape(-1, 2)
+        down = np.asarray(sorted(s0 - s1), dtype=np.int64).reshape(-1, 2)
+        return up, down
+    k0 = e0[:, 0] * big + e0[:, 1]
+    k1 = e1[:, 0] * big + e1[:, 1]
+    up_k = np.setdiff1d(k1, k0, assume_unique=True)
+    down_k = np.setdiff1d(k0, k1, assume_unique=True)
+    up = np.stack([up_k // big, up_k % big], axis=1) if up_k.size else _EMPTY_EDGES
+    down = (
+        np.stack([down_k // big, down_k % big], axis=1)
+        if down_k.size
+        else _EMPTY_EDGES
+    )
+    return up, down
 
 
 def _electors_of(h: ClusteredHierarchy, level: int, head: int) -> list[int]:
@@ -127,6 +178,47 @@ def _electors_of(h: ClusteredHierarchy, level: int, head: int) -> list[int]:
         return []
     mask = election.elected_head == head
     return election.node_ids[mask].tolist()
+
+
+def _election_events(
+    diff: HierarchyDiff,
+    kind_plain: EventKind,
+    kind_recursive: EventKind,
+    h_ref: ClusteredHierarchy,
+    k: int,
+    heads: np.ndarray,
+    below_other: np.ndarray,
+    below_same: np.ndarray,
+) -> None:
+    """Shared body for (iii)/(v) promotions and (iv)/(vi) demotions.
+
+    ``h_ref`` is the snapshot that *contains* the head at level k (h1
+    for promotions, h0 for demotions); ``below_other`` is the other
+    snapshot's level-(k-1) node set and ``below_same`` is ``h_ref``'s.
+    """
+    election = (
+        h_ref.levels[k - 1].election if k <= h_ref.num_levels else None
+    )
+    for v in heads.tolist():
+        if election is not None:
+            cand = election.node_ids[election.elected_head == v]
+            cand = cand[cand != v]
+        else:  # pragma: no cover - heads imply the level exists
+            cand = _EMPTY_IDS
+        moved = cand[~_isin_sorted(below_other, cand)]
+        recursive = k >= 2 and bool(np.any(_isin_sorted(below_same, moved)))
+        if recursive:
+            other = int(moved.min())
+        else:
+            other = int(cand.min()) if cand.size else None
+        diff.reorgs.append(
+            ReorgEvent(
+                kind=kind_recursive if recursive else kind_plain,
+                level=k,
+                subject=int(v),
+                other=other,
+            )
+        )
 
 
 def diff_hierarchies(h0: ClusteredHierarchy, h1: ClusteredHierarchy) -> HierarchyDiff:
@@ -139,14 +231,11 @@ def diff_hierarchies(h0: ClusteredHierarchy, h1: ClusteredHierarchy) -> Hierarch
     diff = HierarchyDiff()
     max_l = max(h0.num_levels, h1.num_levels)
 
-    v_sets0 = [set(lvl.node_ids.tolist()) for lvl in h0.levels]
-    v_sets1 = [set(lvl.node_ids.tolist()) for lvl in h1.levels]
+    def v0(k: int) -> np.ndarray:
+        return h0.levels[k].node_ids if k < len(h0.levels) else _EMPTY_IDS
 
-    def v0(k: int) -> set[int]:
-        return v_sets0[k] if k < len(v_sets0) else set()
-
-    def v1(k: int) -> set[int]:
-        return v_sets1[k] if k < len(v_sets1) else set()
+    def v1(k: int) -> np.ndarray:
+        return h1.levels[k].node_ids if k < len(h1.levels) else _EMPTY_IDS
 
     # --- node migration (per level) -------------------------------------------
     # Origin level per node: the lowest level where its ancestry changed.
@@ -155,98 +244,89 @@ def diff_hierarchies(h0: ClusteredHierarchy, h1: ClusteredHierarchy) -> Hierarch
     for k in range(min_l, 0, -1):
         origin[h0.ancestry(k) != h1.ancestry(k)] = k
 
-    for k in range(1, max_l + 1):
-        if k > h0.num_levels or k > h1.num_levels:
-            continue
+    base_ids = h0.levels[0].node_ids
+    for k in range(1, min_l + 1):
         a0 = h0.ancestry(k)
         a1 = h1.ancestry(k)
         moved = np.flatnonzero(a0 != a1)
-        for i in moved.tolist():
-            node = int(h0.levels[0].node_ids[i])
-            old_c = int(a0[i])
-            new_c = int(a1[i])
-            org = int(origin[i])
-            pure = (
-                org == 1
-                and old_c in v0(k)
-                and old_c in v1(k)
-                and new_c in v0(k)
-                and new_c in v1(k)
-            )
+        if moved.size == 0:
+            continue
+        old_c = a0[moved]
+        new_c = a1[moved]
+        pure = (
+            (origin[moved] == 1)
+            & _isin_sorted(v0(k), old_c)
+            & _isin_sorted(v1(k), old_c)
+            & _isin_sorted(v0(k), new_c)
+            & _isin_sorted(v1(k), new_c)
+        )
+        nodes = base_ids[moved]
+        for i in range(moved.size):
             diff.migrations.append(
-                MigrationEvent(node=node, level=k, old_cluster=old_c,
-                               new_cluster=new_c, pure=pure, origin_level=org)
+                MigrationEvent(
+                    node=int(nodes[i]),
+                    level=k,
+                    old_cluster=int(old_c[i]),
+                    new_cluster=int(new_c[i]),
+                    pure=bool(pure[i]),
+                    origin_level=int(origin[moved[i]]),
+                )
             )
 
     # --- cluster link events (i)/(ii) -----------------------------------------
     for k in range(1, max_l + 1):
-        e0 = _edge_set(h0.levels[k].edges) if k <= h0.num_levels else set()
-        e1 = _edge_set(h1.levels[k].edges) if k <= h1.num_levels else set()
-        up1 = v1(k + 1)
-        up0 = v0(k + 1)
-        for u, v in sorted(e1 - e0):
-            if u in up1 or v in up1:
-                subject, other = (v, u) if v in up1 else (u, v)
+        e0 = h0.levels[k].edges if k <= h0.num_levels else _EMPTY_EDGES
+        e1 = h1.levels[k].edges if k <= h1.num_levels else _EMPTY_EDGES
+        up_edges, down_edges = _edge_diffs(e0, e1)
+        for edges, upper, kind in (
+            (up_edges, v1(k + 1), EventKind.LINK_UP),
+            (down_edges, v0(k + 1), EventKind.LINK_DOWN),
+        ):
+            if edges.shape[0] == 0:
+                continue
+            u_in = _isin_sorted(upper, edges[:, 0])
+            v_in = _isin_sorted(upper, edges[:, 1])
+            for i in np.flatnonzero(u_in | v_in).tolist():
+                u, v = int(edges[i, 0]), int(edges[i, 1])
+                subject, other = (v, u) if v_in[i] else (u, v)
                 diff.reorgs.append(
-                    ReorgEvent(kind=EventKind.LINK_UP, level=k, subject=subject, other=other)
-                )
-        for u, v in sorted(e0 - e1):
-            if u in up0 or v in up0:
-                subject, other = (v, u) if v in up0 else (u, v)
-                diff.reorgs.append(
-                    ReorgEvent(kind=EventKind.LINK_DOWN, level=k, subject=subject, other=other)
+                    ReorgEvent(kind=kind, level=k, subject=subject, other=other)
                 )
 
     # --- elections / rejections (iii)-(vi) --------------------------------------
     for k in range(1, max_l + 1):
-        elected = sorted(v1(k) - v0(k))
-        rejected = sorted(v0(k) - v1(k))
-        for v in elected:
-            electors_now = set(_electors_of(h1, k, v)) - {v}
-            new_electors = electors_now - v0(k - 1) if k >= 1 else set()
-            recursive = bool(new_electors & v1(k - 1)) and k >= 2
-            diff.reorgs.append(
-                ReorgEvent(
-                    kind=EventKind.ELECT_RECURSIVE if recursive else EventKind.ELECT_MIGRATION,
-                    level=k,
-                    subject=int(v),
-                    other=int(min(new_electors)) if recursive else (
-                        int(min(electors_now)) if electors_now else None
-                    ),
-                )
-            )
-        for v in rejected:
-            electors_before = set(_electors_of(h0, k, v)) - {v}
-            gone_electors = electors_before - v1(k - 1) if k >= 1 else set()
-            recursive = bool(gone_electors & v0(k - 1)) and k >= 2
-            diff.reorgs.append(
-                ReorgEvent(
-                    kind=EventKind.REJECT_RECURSIVE if recursive else EventKind.REJECT_MIGRATION,
-                    level=k,
-                    subject=int(v),
-                    other=int(min(gone_electors)) if recursive else (
-                        int(min(electors_before)) if electors_before else None
-                    ),
-                )
-            )
+        elected = np.setdiff1d(v1(k), v0(k), assume_unique=True)
+        rejected = np.setdiff1d(v0(k), v1(k), assume_unique=True)
+        _election_events(
+            diff, EventKind.ELECT_MIGRATION, EventKind.ELECT_RECURSIVE,
+            h1, k, elected, below_other=v0(k - 1), below_same=v1(k - 1),
+        )
+        _election_events(
+            diff, EventKind.REJECT_MIGRATION, EventKind.REJECT_RECURSIVE,
+            h0, k, rejected, below_other=v1(k - 1), below_same=v0(k - 1),
+        )
 
     # --- neighbor elected to level k+1 (vii) --------------------------------------
     for k in range(1, max_l + 1):
-        newly_up = v1(k + 1) - v0(k + 1)
-        if not newly_up or k > h1.num_levels:
+        newly_up = np.setdiff1d(v1(k + 1), v0(k + 1), assume_unique=True)
+        if newly_up.size == 0 or k > h1.num_levels:
             continue
-        lvl = h1.levels[k]
-        e1 = lvl.edges
+        e1 = h1.levels[k].edges
         if e1.size == 0:
             continue
-        for u, v in e1.tolist():
-            if u in newly_up and v not in newly_up:
+        u_new = _isin_sorted(newly_up, e1[:, 0])
+        v_new = _isin_sorted(newly_up, e1[:, 1])
+        for i in np.flatnonzero(u_new ^ v_new).tolist():
+            u, v = int(e1[i, 0]), int(e1[i, 1])
+            if u_new[i]:
                 diff.reorgs.append(
-                    ReorgEvent(kind=EventKind.NEIGHBOR_ELECTED, level=k, subject=v, other=u)
+                    ReorgEvent(kind=EventKind.NEIGHBOR_ELECTED, level=k,
+                               subject=v, other=u)
                 )
-            elif v in newly_up and u not in newly_up:
+            else:
                 diff.reorgs.append(
-                    ReorgEvent(kind=EventKind.NEIGHBOR_ELECTED, level=k, subject=u, other=v)
+                    ReorgEvent(kind=EventKind.NEIGHBOR_ELECTED, level=k,
+                               subject=u, other=v)
                 )
 
     return diff

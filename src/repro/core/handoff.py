@@ -50,7 +50,14 @@ from typing import Callable
 import numpy as np
 
 from repro.core.events import EventKind, HierarchyDiff, diff_hierarchies
-from repro.core.servers import ServerAssignment, full_assignment
+from repro.core.servers import (
+    ChainedAssignment,
+    ServerAssignment,
+    assignment_with_chains,
+    full_assignment,
+    patch_assignment,
+)
+from repro.hierarchy.delta import HierarchyDelta
 from repro.hierarchy.levels import ClusteredHierarchy
 
 __all__ = ["HandoffReport", "HandoffEngine"]
@@ -123,12 +130,27 @@ class HandoffEngine:
     ----------
     hash_fn:
         CHLM hash ("rendezvous" default, or "naive" / callable).
+    incremental:
+        When True *and* the caller supplies a non-full
+        :class:`~repro.hierarchy.delta.HierarchyDelta` to
+        :meth:`observe`, the CHLM assignment is **patched** instead of
+        recomputed — only descent chains through dirty clusters are
+        re-hashed, and only those keys (plus outstanding stale keys)
+        enter the handoff diff.  The metering is bit-identical to the
+        full path: the delta's dirtiness claims are exact, so every key
+        outside the candidate set provably kept its server.  Requires
+        the rendezvous hash; other hashes silently use the full path.
     """
 
-    def __init__(self, hash_fn="rendezvous"):
+    def __init__(self, hash_fn="rendezvous", incremental=False):
         self.hash_fn = hash_fn
+        self.incremental = bool(incremental)
         self._prev_h: ClusteredHierarchy | None = None
         self._prev_a: ServerAssignment | None = None
+        # Incremental state: the previous *intent* (hash output) chains.
+        # Distinct from _prev_a, which under loss reflects the effective
+        # holders; patch cleanliness is an intent-to-intent claim.
+        self._chains: ChainedAssignment | None = None
         # Abandoned-transfer bookkeeping: (subject, level) -> abandon time.
         self._stale: dict[tuple[int, int], float] = {}
 
@@ -154,6 +176,7 @@ class HandoffEngine:
         hop_fn: HopFn,
         delivery=None,
         now: float = 0.0,
+        delta: HierarchyDelta | None = None,
     ) -> HandoffReport:
         """Meter one step against the previous snapshot.
 
@@ -161,9 +184,25 @@ class HandoffEngine:
         ``delivery`` (a :class:`~repro.faults.delivery.DeliveryEngine`)
         routes every charge through the lossy channel; ``now`` is the
         simulation clock used to timestamp abandonments and measure
-        staleness recovery.
+        staleness recovery.  ``delta`` (see the class docstring) enables
+        assignment patching and dirty-key candidate narrowing when the
+        engine was built with ``incremental=True``.
         """
-        assignment = full_assignment(h, self.hash_fn)
+        use_chains = self.incremental and self.hash_fn == "rendezvous"
+        dirty_keys: list[tuple[int, int]] | None = None
+        if (
+            use_chains
+            and delta is not None
+            and not delta.full
+            and self._chains is not None
+        ):
+            self._chains, dirty_keys = patch_assignment(self._chains, h, delta)
+            assignment = self._chains.as_assignment()
+        elif use_chains:
+            self._chains = assignment_with_chains(h)
+            assignment = self._chains.as_assignment()
+        else:
+            assignment = full_assignment(h, self.hash_fn)
         empty: HandoffReport | None = None
         if self._prev_h is None or self._prev_a is None:
             empty = HandoffReport(
@@ -186,7 +225,9 @@ class HandoffEngine:
         purity = {(ev.node, ev.level): ev.pure for ev in diff.migrations}
         lcl = _lowest_changed_levels(h0, h)
         base_ids = h.levels[0].node_ids
-        idx = {int(v): i for i, v in enumerate(base_ids.tolist())}
+
+        def pos_of(node: int) -> int:
+            return int(np.searchsorted(base_ids, node))
 
         migration_packets: dict[int, int] = {}
         migration_entries: dict[int, int] = {}
@@ -230,7 +271,17 @@ class HandoffEngine:
                 self._stale.setdefault(key, now)
             return out.packets
 
-        keys = set(assignment.servers) | set(a0.servers)
+        # Candidate keys.  Full path: every key either side knows.
+        # Incremental path: the patch's dirty keys (the only keys whose
+        # intent may have moved) plus outstanding stale keys (whose
+        # effective holder differs from an unchanged intent, or which
+        # await the old==new staleness-recovery rule).  Sorted iteration
+        # fixes the lossy-channel draw order, so both paths consume the
+        # RNG identically: clean non-candidate keys never touch it.
+        if dirty_keys is None:
+            keys = sorted(set(assignment.servers) | set(a0.servers))
+        else:
+            keys = sorted(set(dirty_keys) | set(self._stale))
         for key in keys:
             subject, level = key
             old_srv = a0.servers.get(key)
@@ -253,12 +304,12 @@ class HandoffEngine:
                 continue
             packets = transfer(key, max(hop_fn(old_srv, new_srv), 0))
 
-            subj_change = int(lcl[idx[subject]])
+            subj_change = int(lcl[pos_of(subject)])
             if 0 < subj_change <= level:
                 pure = purity.get((subject, subj_change), False)
                 charge("migration" if pure else "reorg", level, packets)
                 continue
-            srv_change = int(lcl[idx[old_srv]])
+            srv_change = int(lcl[pos_of(old_srv)])
             if srv_change > 0:
                 pure = purity.get((old_srv, srv_change), False)
                 charge("migration" if pure else "reorg", level, packets)

@@ -26,9 +26,17 @@ from typing import Callable
 import numpy as np
 
 from repro.core.hashing import HASH_REGISTRY
+from repro.hierarchy.delta import HierarchyDelta, LazyClusters
 from repro.hierarchy.levels import ClusteredHierarchy
 
-__all__ = ["ServerAssignment", "select_server", "full_assignment"]
+__all__ = [
+    "ServerAssignment",
+    "ChainedAssignment",
+    "select_server",
+    "full_assignment",
+    "assignment_with_chains",
+    "patch_assignment",
+]
 
 HashFn = Callable[[int, int, "np.ndarray"], int | None]
 
@@ -207,3 +215,157 @@ def full_assignment(h: ClusteredHierarchy, hash_fn="rendezvous") -> ServerAssign
             if srv is not None:
                 servers[(subject, level)] = srv
     return ServerAssignment(servers=servers)
+
+
+# --------------------------------------------------------------------------
+# Incremental CHLM: descent chains + dirty-cluster patching
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ChainedAssignment:
+    """A server assignment plus the *descent chains* that produced it.
+
+    ``chains[level][depth]`` is the per-subject array of the level-
+    ``depth`` cluster each subject's level-``level`` descent consulted
+    when it entered that depth (for the virtual global level, depth
+    ``num_levels`` holds the winner of the global stage).  Because the
+    descent is a pure function of (subject, consulted cells), a recorded
+    chain whose entry point is unchanged and whose every consulted cell
+    kept its member list provably re-derives the same server — that is
+    the cleanliness test :func:`patch_assignment` applies.
+    """
+
+    servers: dict[tuple[int, int], int]
+    chains: dict[int, dict[int, np.ndarray]]
+    subjects: np.ndarray
+
+    def as_assignment(self) -> ServerAssignment:
+        """The plain :class:`ServerAssignment` view (shares the dict)."""
+        return ServerAssignment(servers=self.servers)
+
+
+def assignment_with_chains(h: ClusteredHierarchy) -> ChainedAssignment:
+    """Rendezvous :func:`full_assignment` that also records chains.
+
+    The ``servers`` dict is built by the same grouped-stage descent, so
+    it is bit-identical to ``full_assignment(h, "rendezvous").servers``;
+    the chain arrays are the stage inputs the descent consumed anyway
+    (zero extra hashing).
+    """
+    servers: dict[tuple[int, int], int] = {}
+    chains: dict[int, dict[int, np.ndarray]] = {}
+    subjects = h.levels[0].node_ids
+    top = lm_levels(h)
+    if top < 2:
+        return ChainedAssignment(servers=servers, chains=chains,
+                                 subjects=subjects)
+    partitions = {depth: h.clusters(depth) for depth in range(1, h.num_levels + 1)}
+    global_partition = {0: h.levels[-1].node_ids}
+    for level in range(2, top + 1):
+        if level == h.num_levels + 1:
+            current = np.zeros(subjects.size, dtype=np.int64)
+            current = _vectorized_rendezvous_stage(
+                subjects, current, global_partition, _stage_salt(level, level)
+            )
+            start_depth = h.num_levels
+        else:
+            current = h.ancestry(level).copy()
+            start_depth = level
+        lvl_chain: dict[int, np.ndarray] = {}
+        for depth in range(start_depth, 0, -1):
+            lvl_chain[depth] = current
+            current = _vectorized_rendezvous_stage(
+                subjects, current, partitions[depth], _stage_salt(level, depth)
+            )
+        chains[level] = lvl_chain
+        for subj, srv in zip(subjects.tolist(), current.tolist()):
+            servers[(subj, level)] = srv
+    return ChainedAssignment(servers=servers, chains=chains, subjects=subjects)
+
+
+def _dirty_mask(dirty_cells: np.ndarray, consulted: np.ndarray) -> np.ndarray:
+    """Which subjects consulted a dirty cell (sorted-array membership)."""
+    pos = np.minimum(
+        np.searchsorted(dirty_cells, consulted), dirty_cells.size - 1
+    )
+    return dirty_cells[pos] == consulted
+
+
+def patch_assignment(
+    prev: ChainedAssignment,
+    h: ClusteredHierarchy,
+    delta: HierarchyDelta,
+) -> tuple[ChainedAssignment, list[tuple[int, int]]]:
+    """Patch a chained assignment onto the next hierarchy snapshot.
+
+    A (subject, level) entry is *clean* when its descent entry point is
+    unchanged (same level-``level`` ancestor; same global-stage winner
+    for the virtual level) and no consulted cell appears in the delta's
+    ``dirty_cells`` — then the recorded chain replays identically and
+    the server is untouched.  Everything else is re-descended as one
+    vectorized batch per level over lazily grouped clusters.
+
+    Returns the new chained assignment plus the *dirty keys* — the only
+    keys whose server may differ from ``prev`` (a superset of the keys
+    that actually changed).  ``delta`` must not be ``full``.
+    """
+    if delta.full:
+        raise ValueError("cannot patch across a full delta")
+    num_levels = h.num_levels
+    top = lm_levels(h)
+    subjects = prev.subjects
+    lazy = {
+        depth: LazyClusters(h.levels[depth - 1].election)
+        for depth in range(1, num_levels + 1)
+    }
+    new_servers = dict(prev.servers)
+    new_chains: dict[int, dict[int, np.ndarray]] = {}
+    dirty_keys: list[tuple[int, int]] = []
+    for level in range(2, top + 1):
+        old_chain = prev.chains[level]
+        if level == num_levels + 1:
+            start_depth = num_levels
+            if delta.top_changed:
+                entry = _vectorized_rendezvous_stage(
+                    subjects,
+                    np.zeros(subjects.size, dtype=np.int64),
+                    {0: h.levels[-1].node_ids},
+                    _stage_salt(level, level),
+                )
+                dirty = entry != old_chain[start_depth]
+            else:
+                entry = old_chain[start_depth]
+                dirty = np.zeros(subjects.size, dtype=bool)
+        else:
+            start_depth = level
+            entry = h.ancestry(level)
+            dirty = delta.level_changed[level].copy()
+        for depth in range(start_depth, 0, -1):
+            cells = delta.dirty_cells[depth]
+            if cells.size:
+                dirty |= _dirty_mask(cells, old_chain[depth])
+        sub = np.flatnonzero(dirty)
+        if sub.size == 0:
+            new_chains[level] = old_chain
+            continue
+        subs = subjects[sub]
+        current = entry[sub]
+        lvl_chain: dict[int, np.ndarray] = {}
+        for depth in range(start_depth, 0, -1):
+            arr = old_chain[depth].copy()
+            arr[sub] = current
+            lvl_chain[depth] = arr
+            current = _vectorized_rendezvous_stage(
+                subs, current, lazy[depth], _stage_salt(level, depth)
+            )
+        new_chains[level] = lvl_chain
+        for subj, srv in zip(subs.tolist(), current.tolist()):
+            key = (subj, level)
+            new_servers[key] = srv
+            dirty_keys.append(key)
+    return (
+        ChainedAssignment(servers=new_servers, chains=new_chains,
+                          subjects=subjects),
+        dirty_keys,
+    )

@@ -1,6 +1,12 @@
 """Clustered hierarchy substrate: recursive levels, addresses, statistics."""
 
 from repro.hierarchy.cluster_graph import canonical_edges, contract_edges
+from repro.hierarchy.delta import (
+    DeltaPlane,
+    HierarchyDelta,
+    LazyClusters,
+    compute_delta,
+)
 from repro.hierarchy.levels import ClusteredHierarchy, LevelTopology, build_hierarchy
 from repro.hierarchy.maintain import HierarchyMaintainer
 from repro.hierarchy.persistent import (
@@ -18,6 +24,10 @@ from repro.hierarchy.stats import (
 __all__ = [
     "canonical_edges",
     "contract_edges",
+    "DeltaPlane",
+    "HierarchyDelta",
+    "LazyClusters",
+    "compute_delta",
     "ClusteredHierarchy",
     "LevelTopology",
     "build_hierarchy",

@@ -1,0 +1,345 @@
+"""Event-driven hierarchy plane: link deltas -> dirty clusters.
+
+The paper's ALCA reorganizes *by events* — its seven event types
+(i)-(vii) and the handoff bound are defined over discrete cluster-link
+changes, not over global rebuilds.  This module is the stepping-plane
+mirror of that model:
+
+* :class:`DeltaPlane` consumes each step's canonical edge array,
+  computes the level-0 :class:`~repro.radio.linkevents.LinkDiff`
+  implicitly (per-level encoded-key set diffs), and **patches** the
+  recursive ALCA election level by level with
+  :class:`~repro.clustering.incremental.IncrementalElection` — re-voting
+  only the affected-node closure of added/removed edges.  The resulting
+  :class:`~repro.hierarchy.levels.ClusteredHierarchy` is bit-identical
+  to a from-scratch :func:`~repro.hierarchy.levels.build_hierarchy`
+  (``tests/hierarchy/test_delta_plane.py`` fuzzes this over churn,
+  crash, and partition bursts).
+
+* :func:`compute_delta` distills two consecutive snapshots into a
+  :class:`HierarchyDelta`: per-level changed-ancestry masks, the
+  *dirty cells* whose member lists changed (exactly the clusters a CHLM
+  hash descent could consult differently), and the dirty-cluster sets
+  the routing cache (:class:`~repro.routing.fabric_cache.FabricCache`)
+  shares.  The handoff engine uses it to re-hash only dirty keys and
+  diff only dirty clusters.
+
+The delta plane never touches an RNG stream and is carried inside
+simulator checkpoints, so incremental runs resume bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.clustering.incremental import IncrementalElection
+from repro.clustering.lca import Election
+from repro.hierarchy.cluster_graph import contract_edges
+from repro.hierarchy.levels import ClusteredHierarchy, LevelTopology
+from repro.radio.unit_disk import decode_edges, encode_edges, unit_disk_edges
+
+__all__ = ["HierarchyDelta", "DeltaPlane", "LazyClusters", "compute_delta"]
+
+
+class LazyClusters:
+    """Mapping view of one level's partition, built lazily and without
+    the per-cluster python loop of :meth:`Election.clusters`.
+
+    ``lazy[cid]`` returns the *same* sorted member array
+    ``Election.clusters()[cid]`` would — the grouped slice of sorted
+    ``node_ids`` is already ascending — but the grouping arrays are
+    computed once on first access, and no per-cluster dict is
+    materialized.  This is what lets the incremental hash descent touch
+    only the clusters on dirty chains.
+    """
+
+    def __init__(self, election: Election):
+        self._election = election
+        self._heads: np.ndarray | None = None
+
+    def _build(self) -> None:
+        e = self._election
+        order = np.argsort(e.member_of, kind="stable")
+        heads, starts = np.unique(e.member_of[order], return_index=True)
+        self._members = e.node_ids[order]
+        self._heads = heads
+        self._starts = np.append(starts, e.node_ids.size)
+
+    def __getitem__(self, cid: int) -> np.ndarray:
+        if self._heads is None:
+            self._build()
+        i = int(np.searchsorted(self._heads, cid))
+        if i >= self._heads.size or self._heads[i] != cid:
+            raise KeyError(cid)
+        return self._members[self._starts[i]:self._starts[i + 1]]
+
+
+@dataclass
+class HierarchyDelta:
+    """Exact change summary between two consecutive hierarchy snapshots.
+
+    ``full=True`` means no incremental claims can be made (first step,
+    node set changed, or hierarchy depth changed) and every consumer
+    must fall back to its from-scratch path.  Otherwise:
+
+    Attributes
+    ----------
+    level_changed:
+        ``level_changed[k]`` is a boolean mask over base nodes whose
+        level-k ancestor changed (``k = 0..L``; level 0 is all-False).
+    dirty_cells:
+        ``dirty_cells[d]`` (``d = 1..L``) is the sorted array of
+        level-d cluster IDs whose *member list* (of level-(d-1) IDs)
+        changed.  A CHLM descent that consults no dirty cell and starts
+        from an unchanged cluster provably picks the same server.
+    top_changed:
+        Whether the top-level node set changed (the virtual global
+        level's candidate set).
+    """
+
+    h0: ClusteredHierarchy | None
+    h1: ClusteredHierarchy | None
+    full: bool
+    level_changed: list[np.ndarray] = field(default_factory=list)
+    dirty_cells: list[np.ndarray] = field(default_factory=list)
+    top_changed: bool = False
+
+    @property
+    def n_changed(self) -> int:
+        """Base nodes whose ancestry changed at any level."""
+        if self.full:
+            return -1
+        total = np.zeros(0, dtype=bool)
+        for mask in self.level_changed[1:]:
+            total = mask if total.size == 0 else (total | mask)
+        return int(total.sum()) if total.size else 0
+
+    def dirty_sets(self) -> list[set[int]]:
+        """Per-level dirty-cluster sets in the exact format
+        :meth:`repro.routing.fabric_cache.FabricCache` computes
+        internally: old and new ancestors of every moved node.
+        """
+        if self.full or self.h0 is None or self.h1 is None:
+            raise ValueError("dirty_sets() is undefined for a full delta")
+        out: list[set[int]] = [set() for _ in range(self.h1.num_levels + 1)]
+        for k in range(1, self.h1.num_levels + 1):
+            moved = self.level_changed[k]
+            if moved.any():
+                out[k] = set(np.unique(self.h0.ancestry(k)[moved]).tolist())
+                out[k] |= set(np.unique(self.h1.ancestry(k)[moved]).tolist())
+        return out
+
+
+def _dirty_cells_of(el0: Election, el1: Election) -> np.ndarray:
+    """Sorted cluster IDs whose member list differs between elections."""
+    ids0, ids1 = el0.node_ids, el1.node_ids
+    if el0 is el1:
+        return np.empty(0, dtype=np.int64)
+    if np.array_equal(ids0, ids1):
+        moved = el0.member_of != el1.member_of
+        if not moved.any():
+            return np.empty(0, dtype=np.int64)
+        parts = [el0.member_of[moved], el1.member_of[moved]]
+    else:
+        in1 = np.isin(ids0, ids1, assume_unique=True)
+        in0 = np.isin(ids1, ids0, assume_unique=True)
+        common = ids0[in1]
+        mo0 = el0.member_of[in1]
+        mo1 = el1.member_of[np.searchsorted(ids1, common)]
+        moved = mo0 != mo1
+        parts = [mo0[moved], mo1[moved],
+                 el0.member_of[~in1],  # departed ids: old cluster shrank
+                 el1.member_of[~in0]]  # arrived ids: new cluster grew
+    return np.unique(np.concatenate(parts))
+
+
+def compute_delta(h0: ClusteredHierarchy | None,
+                  h1: ClusteredHierarchy | None) -> HierarchyDelta:
+    """Distill two consecutive snapshots into a :class:`HierarchyDelta`.
+
+    Works for *any* construction path (incremental build, sticky or
+    persistent maintainers, full rebuild): the delta is computed from
+    the snapshots themselves, so its dirtiness claims are exact by
+    construction.
+    """
+    if (
+        h0 is None or h1 is None
+        or h0.num_levels != h1.num_levels
+        or not np.array_equal(h0.levels[0].node_ids, h1.levels[0].node_ids)
+    ):
+        return HierarchyDelta(h0=h0, h1=h1, full=True)
+    num_levels = h1.num_levels
+    level_changed = [np.zeros(h1.n, dtype=bool)]
+    for k in range(1, num_levels + 1):
+        level_changed.append(h0.ancestry(k) != h1.ancestry(k))
+    dirty_cells = [np.empty(0, dtype=np.int64)]
+    for d in range(1, num_levels + 1):
+        el0 = h0.levels[d - 1].election
+        el1 = h1.levels[d - 1].election
+        assert el0 is not None and el1 is not None
+        dirty_cells.append(_dirty_cells_of(el0, el1))
+    top_changed = not np.array_equal(
+        h0.levels[-1].node_ids, h1.levels[-1].node_ids
+    )
+    return HierarchyDelta(
+        h0=h0, h1=h1, full=False,
+        level_changed=level_changed,
+        dirty_cells=dirty_cells,
+        top_changed=top_changed,
+    )
+
+
+@dataclass
+class _LevelState:
+    """Per-level incremental election state (ids, edge keys, voter)."""
+
+    ids: np.ndarray
+    keys: np.ndarray
+    inc: IncrementalElection
+    snapshot: Election
+
+
+class DeltaPlane:
+    """Maintains the recursive ALCA hierarchy from link deltas.
+
+    Two operating modes:
+
+    * **build** (``build=True``, memoryless LCA): :meth:`advance` takes
+      the step's canonical edge array and patches each level's election
+      in place, producing a hierarchy bit-identical to
+      :func:`build_hierarchy` on the same topology.  A level whose node
+      set changed (head churn) is re-elected from scratch; a level whose
+      node set *and* edges are unchanged reuses last step's election
+      object outright.
+    * **adopt** (``build=False``, sticky/persistent maintainers):
+      :meth:`adopt` registers an externally built hierarchy; the plane
+      then only tracks consecutive snapshots for :meth:`delta`.
+
+    Either way, :meth:`delta` yields the step's exact
+    :class:`HierarchyDelta` for the handoff engine and routing cache.
+    """
+
+    def __init__(self, n: int, max_levels: int | None = None,
+                 level_mode: str = "radio", r0: float | None = None,
+                 build: bool = True):
+        if level_mode not in ("radio", "contraction"):
+            raise ValueError(f"unknown level_mode {level_mode!r}")
+        if level_mode == "radio" and build and r0 is None:
+            raise ValueError("radio level_mode requires r0")
+        if n <= 1:
+            raise ValueError("need at least two nodes")
+        self._n = int(n)
+        self._max_levels = max_levels
+        self._level_mode = level_mode
+        self._r0 = None if r0 is None else float(r0)
+        self._build = bool(build)
+        self._base_ids = np.arange(self._n, dtype=np.int64)
+        self._state: dict[int, _LevelState] = {}
+        self._h: ClusteredHierarchy | None = None
+        self._prev_h: ClusteredHierarchy | None = None
+        self._delta: HierarchyDelta | None = None
+
+    @property
+    def hierarchy(self) -> ClusteredHierarchy | None:
+        """Most recent snapshot (None before the first step)."""
+        return self._h
+
+    # -- build mode ----------------------------------------------------------
+
+    def _level_election(self, k: int, cur_ids: np.ndarray,
+                        cur_edges: np.ndarray) -> Election:
+        """Election at level k: patched when the node set held, rebuilt
+        otherwise, reused outright when nothing changed."""
+        keys = encode_edges(cur_edges, self._n)
+        st = self._state.get(k)
+        if st is not None and (
+            st.ids is cur_ids or np.array_equal(st.ids, cur_ids)
+        ):
+            if np.array_equal(st.keys, keys):
+                return st.snapshot
+            ups = decode_edges(
+                np.setdiff1d(keys, st.keys, assume_unique=True), self._n
+            )
+            downs = decode_edges(
+                np.setdiff1d(st.keys, keys, assume_unique=True), self._n
+            )
+            st.inc.apply(ups, downs)
+            st.keys = keys
+            st.snapshot = st.inc.snapshot()
+            return st.snapshot
+        inc = IncrementalElection(cur_ids, cur_edges)
+        snap = inc.snapshot()
+        self._state[k] = _LevelState(ids=cur_ids, keys=keys, inc=inc,
+                                     snapshot=snap)
+        return snap
+
+    def advance(self, edges: np.ndarray,
+                positions=None) -> ClusteredHierarchy:
+        """One step: patch the hierarchy onto the new canonical edge
+        array (node IDs are ``0..n-1``; edges must be canonical — the
+        unit-disk builder's output, chaos-filtered or not).
+        """
+        if not self._build:
+            raise RuntimeError(
+                "this DeltaPlane adopts externally built hierarchies; "
+                "call adopt(h) instead"
+            )
+        cur_edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if self._level_mode == "radio":
+            if positions is None:
+                raise ValueError("radio level_mode requires positions")
+            pos = np.asarray(positions, dtype=np.float64)
+            if pos.shape[0] != self._n:
+                raise ValueError("positions must align with node ids")
+        cur_ids = self._base_ids
+        levels: list[LevelTopology] = []
+        k = 0
+        while True:
+            at_cap = self._max_levels is not None and k >= self._max_levels
+            if at_cap or cur_ids.size <= 1 or cur_edges.shape[0] == 0:
+                levels.append(LevelTopology(k, cur_ids, cur_edges,
+                                            election=None))
+                break
+            result = self._level_election(k, cur_ids, cur_edges)
+            heads = result.clusterheads
+            if heads.size == cur_ids.size:
+                # No aggregation possible; treat as top.
+                levels.append(LevelTopology(k, cur_ids, cur_edges,
+                                            election=None))
+                break
+            levels.append(LevelTopology(k, cur_ids, cur_edges,
+                                        election=result))
+            if self._level_mode == "radio":
+                head_idx = np.searchsorted(self._base_ids, heads)
+                r_k = self._r0 * float(np.sqrt(self._n / heads.size))
+                pair_idx = unit_disk_edges(pos[head_idx], r_k)
+                cur_edges = (
+                    heads[pair_idx]
+                    if pair_idx.size
+                    else np.empty((0, 2), dtype=np.int64)
+                )
+            else:
+                cur_edges = contract_edges(cur_edges, cur_ids,
+                                           result.member_of)
+            cur_ids = heads
+            k += 1
+        h = ClusteredHierarchy(levels)
+        self.adopt(h)
+        return h
+
+    # -- adopt mode / shared -------------------------------------------------
+
+    def adopt(self, h: ClusteredHierarchy) -> None:
+        """Register the step's hierarchy (built here or externally)."""
+        self._prev_h = self._h
+        self._h = h
+        self._delta = None
+
+    def delta(self) -> HierarchyDelta:
+        """The exact delta between the two most recent snapshots
+        (``full=True`` before the second one exists)."""
+        if self._delta is None:
+            self._delta = compute_delta(self._prev_h, self._h)
+        return self._delta

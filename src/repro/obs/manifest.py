@@ -92,6 +92,10 @@ class RunManifest:
         }
         if res.query_success_rate is not None:
             metrics["query_success_rate"] = float(res.query_success_rate)
+        for kind, entry in res.ledger.reorg_event_breakdown().items():
+            # (i)-(vii) taxonomy: which reorg event type dominates gamma.
+            metrics[f"reorg_{kind}_count"] = int(entry["count"])
+            metrics[f"reorg_{kind}_rate"] = float(entry["rate"])
         service = getattr(res, "extras", {}).get("service")
         if service is not None:
             metrics.update(service.to_metrics())

@@ -171,6 +171,24 @@ class SweepReport:
             "shed": shed, "dropped": dropped, "worst_p99": worst_p99,
         }
 
+    def reorg_event_summary(self) -> dict[str, int]:
+        """Aggregate (i)-(vii) reorganization event counts across results.
+
+        Sums each result ledger's
+        :meth:`~repro.core.accounting.OverheadLedger.reorg_event_breakdown`
+        over the whole sweep, keyed by the roman-numeral event kind —
+        the sweep-level answer to *which event type dominates gamma*
+        (EXP-F3's question).  Empty when no result carried a ledger.
+        """
+        out: dict[str, int] = {}
+        for res in self.results:
+            ledger = getattr(res, "ledger", None)
+            if ledger is None:
+                continue
+            for kind, entry in ledger.reorg_event_breakdown().items():
+                out[kind] = out.get(kind, 0) + int(entry["count"])
+        return out
+
     def flagged_results(self) -> list:
         """Results whose hierarchy invariants were violated at least once."""
         return [
@@ -215,6 +233,13 @@ class SweepReport:
                 f" {svc['runs']} runs ({svc['shed']} shed,"
                 f" {svc['dropped']} dropped,"
                 f" worst p99 {svc['worst_p99']:.4f} s)"
+            )
+        reorg = self.reorg_event_summary()
+        if reorg:
+            top = max(reorg, key=reorg.get)
+            counts = ", ".join(f"({k}) {v}" for k, v in reorg.items())
+            lines.append(
+                f"reorg      {counts} — ({top}) dominates gamma"
             )
         phases = self.per_n_phases()
         if phases:

@@ -25,6 +25,7 @@ PHASES = (
     "mobility",
     "rebuild",
     "hierarchy",
+    "delta",
     "handoff",
     "diff",
     "sampling",
@@ -33,6 +34,9 @@ PHASES = (
 
 ``setup`` covers warmup stepping plus the unmetered baseline snapshot;
 the rest are the per-step phases of :meth:`repro.sim.engine.Simulator.run`.
+``delta`` is the event-plane phase (link-delta distillation into a
+:class:`~repro.hierarchy.delta.HierarchyDelta`); it is metered on every
+profiled run and reads as ~zero when ``incremental_hierarchy`` is off.
 """
 
 

@@ -16,6 +16,7 @@ from repro.radio.connectivity import (
     giant_component_fraction,
     largest_component_nodes,
 )
+from repro.radio.edge_cache import VerletEdgeCache
 from repro.radio.linkevents import LinkDiff, LinkTracker
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
     "is_connected",
     "giant_component_fraction",
     "largest_component_nodes",
+    "VerletEdgeCache",
     "LinkDiff",
     "LinkTracker",
 ]

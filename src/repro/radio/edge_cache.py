@@ -1,0 +1,84 @@
+"""Verlet-style unit-disk edge maintenance.
+
+The per-step k-d tree rebuild in the simulator is a *candidate search*:
+almost all of its output is identical step over step because nodes move
+a small fraction of R_tx per step.  :class:`VerletEdgeCache` applies the
+classic molecular-dynamics Verlet-list trick:
+
+* build the k-d tree once over an **inflated** radius
+  ``R_tx * (1 + skin)`` and keep that candidate pair list;
+* each step, exact edges are the candidates within ``R_tx`` under the
+  *current* positions — a single vectorized distance filter;
+* rebuild the candidate list only when some node has drifted more than
+  ``skin * R_tx / 2`` from its position at build time.
+
+**Exactness.**  A pair at true distance ``d <= R_tx`` today was at
+distance ``<= d + 2 * drift <= R_tx * (1 + skin)`` at build time (two
+triangle inequalities), so it is always in the candidate list — the
+filter can never miss an edge.  The filter compares the same float64
+squared distances the k-d tree does and keeps the candidate list's
+(row-sorted, lex-ordered) order, so the output array is bit-identical
+to a fresh :func:`~repro.radio.unit_disk.unit_disk_edges` call
+(``tests/radio/test_edge_cache.py`` fuzzes this).
+
+**When it pays.**  A rebuild is amortized over ``skin * R_tx / 2``
+worth of drift: with per-step displacement ``s`` the tree is rebuilt
+every ``~skin * R_tx / (2 s)`` steps.  See docs/PERFORMANCE.md for the
+threshold arithmetic against the stock scenario speeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.radio.unit_disk import unit_disk_edges
+
+__all__ = ["VerletEdgeCache"]
+
+
+class VerletEdgeCache:
+    """Maintains exact unit-disk edges from a skin-inflated candidate list.
+
+    Parameters
+    ----------
+    r_tx:
+        Exact unit-disk radius.
+    skin:
+        Candidate-radius inflation factor (default 0.5: candidates
+        within ``1.5 * r_tx``, rebuild after ``0.25 * r_tx`` drift).
+    """
+
+    def __init__(self, r_tx: float, skin: float = 0.5):
+        if r_tx <= 0:
+            raise ValueError("r_tx must be positive")
+        if skin <= 0:
+            raise ValueError("skin must be positive (0 would rebuild "
+                             "every step; use unit_disk_edges directly)")
+        self._r = float(r_tx)
+        self._skin = float(skin)
+        self._ref: np.ndarray | None = None
+        self._candidates: np.ndarray | None = None
+        self.rebuilds = 0
+        """Candidate-list (k-d tree) rebuilds so far — the cost driver."""
+
+    def edges(self, positions: np.ndarray) -> np.ndarray:
+        """Exact canonical unit-disk edges for ``positions``."""
+        pos = np.asarray(positions, dtype=np.float64)
+        stale = self._ref is None or pos.shape != self._ref.shape
+        if not stale:
+            drift2 = float(np.max(np.sum((pos - self._ref) ** 2, axis=1)))
+            # Worst case: two nodes drifting toward each other, hence
+            # the factor 2 against the skin margin.
+            stale = 2.0 * np.sqrt(drift2) > self._skin * self._r
+        if stale:
+            self._ref = pos.copy()
+            self._candidates = unit_disk_edges(
+                pos, self._r * (1.0 + self._skin)
+            )
+            self.rebuilds += 1
+        cand = self._candidates
+        if cand.shape[0] == 0:
+            return cand
+        d = pos[cand[:, 0]] - pos[cand[:, 1]]
+        keep = d[:, 0] ** 2 + d[:, 1] ** 2 <= self._r * self._r
+        return cand[keep]

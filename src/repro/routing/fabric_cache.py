@@ -115,13 +115,21 @@ class FabricCache:
         self._h = None
 
     def update(self, h: ClusteredHierarchy, g: CompactGraph,
-               diff: LinkDiff | None = None) -> ForwardingFabric:
+               diff: LinkDiff | None = None,
+               dirty: list[set[int]] | None = None) -> ForwardingFabric:
         """Advance to a new snapshot; returns its forwarding fabric.
 
         Reuses every flood record the step's link events and cluster
         changes provably left bit-identical; the previous fabric must
         not be used afterwards (array ownership transfers).  Oversized
         diffs (see ``mass_invalidate_fraction``) rebuild eagerly.
+
+        ``dirty`` lets the event-driven hierarchy plane share its
+        per-level dirty-cluster sets
+        (:meth:`repro.hierarchy.delta.HierarchyDelta.dirty_sets`) so the
+        ancestry diff is not recomputed here; the format — and the
+        resulting fabric — is identical to the internally computed one
+        (``tests/routing/test_fabric_cache.py`` asserts the equality).
         """
         prev, prev_h = self.fabric, self._h
         self.stats.updates += 1
@@ -144,7 +152,7 @@ class FabricCache:
                                    l0_cache_entries=self.l0_cache_entries,
                                    nh_cache_entries=self.nh_cache_entries)
         else:
-            inherited = self._carry(prev, prev_h, h, g, diff)
+            inherited = self._carry(prev, prev_h, h, g, diff, dirty=dirty)
             fab = ForwardingFabric(h, g, l0_cache_entries=self.l0_cache_entries,
                                    nh_cache_entries=self.nh_cache_entries,
                                    _inherited=inherited)
@@ -153,17 +161,18 @@ class FabricCache:
 
     def _carry(self, prev: ForwardingFabric, h_old: ClusteredHierarchy,
                h_new: ClusteredHierarchy, g: CompactGraph,
-               diff: LinkDiff) -> dict:
+               diff: LinkDiff, dirty: list[set[int]] | None = None) -> dict:
         ids = g.node_ids
         num_levels = h_new.num_levels
-        anc_old = [h_old.ancestry(k) for k in range(num_levels + 1)]
         anc_new = [h_new.ancestry(k) for k in range(num_levels + 1)]
-        dirty: list[set[int]] = [set() for _ in range(num_levels + 1)]
-        for k in range(1, num_levels + 1):
-            moved = anc_old[k] != anc_new[k]
-            if moved.any():
-                dirty[k] = set(np.unique(anc_old[k][moved]).tolist())
-                dirty[k] |= set(np.unique(anc_new[k][moved]).tolist())
+        if dirty is None:
+            anc_old = [h_old.ancestry(k) for k in range(num_levels + 1)]
+            dirty = [set() for _ in range(num_levels + 1)]
+            for k in range(1, num_levels + 1):
+                moved = anc_old[k] != anc_new[k]
+                if moved.any():
+                    dirty[k] = set(np.unique(anc_old[k][moved]).tolist())
+                    dirty[k] |= set(np.unique(anc_new[k][moved]).tolist())
 
         def to_idx(pairs: np.ndarray) -> np.ndarray:
             if len(pairs) == 0:

@@ -26,12 +26,14 @@ from repro.sim.scenario import Scenario
 
 __all__ = ["CHECKPOINT_SCHEMA", "SimCheckpoint"]
 
-CHECKPOINT_SCHEMA = 2
+CHECKPOINT_SCHEMA = 3
 """On-disk checkpoint layout version (bumped when fields change shape).
 
-Schema 2 replaced the ``down_until`` / ``now`` / ``failure_rng``
-triplet with the ``chaos`` engine object; schema-1 checkpoints are
-refused at load time (:func:`repro.persist.load_checkpoint`)."""
+Schema 3 added the event-driven hierarchy plane state (``delta_plane``,
+``edge_cache``) so incremental runs resume bit-identically.  Schema 2
+replaced the ``down_until`` / ``now`` / ``failure_rng`` triplet with the
+``chaos`` engine object.  Older-schema checkpoints are refused at load
+time (:func:`repro.persist.load_checkpoint`)."""
 
 
 @dataclass
@@ -75,6 +77,13 @@ class SimCheckpoint:
     trace:
         The simulator's :class:`~repro.sim.trace.EventTrace`, or None
         (the same object a :class:`TraceCollector` holds).
+    delta_plane:
+        The :class:`~repro.hierarchy.delta.DeltaPlane` (per-level
+        incremental election state and last two snapshots), or None
+        when ``incremental_hierarchy`` is off.
+    edge_cache:
+        The :class:`~repro.radio.edge_cache.VerletEdgeCache` (candidate
+        pairs + reference positions), or None.
     schema:
         :data:`CHECKPOINT_SCHEMA` at save time.
     """
@@ -93,4 +102,6 @@ class SimCheckpoint:
     collectors: list
     timings: Any = None
     trace: Any = None
+    delta_plane: Any = None
+    edge_cache: Any = None
     schema: int = field(default=CHECKPOINT_SCHEMA)

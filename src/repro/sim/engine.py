@@ -144,7 +144,30 @@ class Simulator:
             self._maintainer = PersistentHierarchyMaintainer(
                 max_levels=scenario.max_levels, r0=scenario.r_tx
             )
-        self._engine = HandoffEngine(hash_fn=scenario.hash_fn)
+        # Event-driven hierarchy plane (incremental_hierarchy=True):
+        # Verlet edge maintenance, per-level election patching (or delta
+        # tracking around the maintainer), and dirty-chain handoff
+        # patching.  Consumes no RNG stream, so the two pipelines are
+        # bit-identical — the equivalence matrix in
+        # tests/sim/test_incremental_equivalence.py enforces it.
+        self._delta_plane = None
+        self._edge_cache = None
+        if scenario.incremental_hierarchy:
+            from repro.hierarchy.delta import DeltaPlane
+            from repro.radio.edge_cache import VerletEdgeCache
+
+            self._delta_plane = DeltaPlane(
+                scenario.n,
+                max_levels=scenario.max_levels,
+                level_mode=scenario.level_mode,
+                r0=scenario.r_tx if scenario.level_mode == "radio" else None,
+                build=self._maintainer is None,
+            )
+            self._edge_cache = VerletEdgeCache(scenario.r_tx)
+        self._engine = HandoffEngine(
+            hash_fn=scenario.hash_fn,
+            incremental=scenario.incremental_hierarchy,
+        )
         self._collectors = self._default_collectors(rngs)
         if collectors:
             self._collectors.extend(collectors)
@@ -216,9 +239,13 @@ class Simulator:
     # -- helpers ------------------------------------------------------------------
 
     def _edges(self, positions: np.ndarray) -> np.ndarray:
-        """Unit-disk rebuild (k-d tree) plus chaos filtering (crashed
-        nodes and partition-severed links removed)."""
-        edges = unit_disk_edges(positions, self.sc.r_tx)
+        """Unit-disk edges (k-d tree, or the bit-identical Verlet cache
+        on the incremental path) plus chaos filtering (crashed nodes and
+        partition-severed links removed)."""
+        if self._edge_cache is not None:
+            edges = self._edge_cache.edges(positions)
+        else:
+            edges = unit_disk_edges(positions, self.sc.r_tx)
         if self._chaos is not None:
             edges = self._chaos.filter_edges(edges, positions)
         return edges
@@ -236,7 +263,14 @@ class Simulator:
                     edges,
                     positions=positions if self.sc.level_mode == "radio" else None,
                 )
+            if self._delta_plane is not None:
+                self._delta_plane.adopt(h)
             return h
+        if self._delta_plane is not None:
+            return self._delta_plane.advance(
+                edges,
+                positions if self.sc.level_mode == "radio" else None,
+            )
         return build_hierarchy(
             np.arange(self.sc.n),
             edges,
@@ -300,10 +334,20 @@ class Simulator:
         hierarchy = self._elect(positions, edges)
         if mark is not None:
             mark("hierarchy")
+        # Event-plane phase: distill the two latest snapshots into the
+        # step's HierarchyDelta.  Metered unconditionally (zero-duration
+        # when the plane is off) so profiled runs always report the full
+        # canonical phase set.
+        delta = None
+        if self._delta_plane is not None:
+            delta = self._delta_plane.delta()
+        if mark is not None:
+            mark("delta")
         hop_fn = self._hop_fn(positions, edges)
         report = self._engine.observe(
             hierarchy, hop_fn,
             delivery=self._delivery, now=(step + 1) * sc.dt,
+            delta=delta,
         )
         snap = StepSnapshot(
             t=(step + 1) * sc.dt, step=step, positions=positions,
@@ -311,6 +355,7 @@ class Simulator:
             prev_hierarchy=self._prev_hierarchy, report=report,
             hop_fn=hop_fn, scenario=sc, assignment=self._engine.assignment,
             down=None if self._chaos is None else self._chaos.down_mask(),
+            delta=delta,
         )
         if mark is not None:
             mark("handoff")
@@ -435,6 +480,8 @@ class Simulator:
             collectors=self._collectors,
             timings=self.timings,
             trace=self.trace,
+            delta_plane=self._delta_plane,
+            edge_cache=self._edge_cache,
         )
         if path is not None:
             from repro.persist import save_checkpoint
@@ -484,6 +531,8 @@ class Simulator:
         sim._prev_hierarchy = ck.prev_hierarchy
         sim._started = ck.started
         sim._next_step = ck.next_step
+        sim._delta_plane = ck.delta_plane
+        sim._edge_cache = ck.edge_cache
         return sim
 
 

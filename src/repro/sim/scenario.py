@@ -158,6 +158,17 @@ class Scenario:
         default.  Mean hop sampling is the costliest per-step observation
         (BFS from several sources); raise the cadence for wide sweeps
         (see docs/PERFORMANCE.md), lower it when h/h_k accuracy matters.
+    incremental_hierarchy:
+        Run the event-driven hierarchy plane (see
+        :mod:`repro.hierarchy.delta` and docs/ARCHITECTURE.md): the ALCA
+        hierarchy is patched from link deltas instead of rebuilt, the
+        unit-disk graph is maintained by a Verlet-style candidate cache,
+        and the handoff engine re-hashes only dirty descent chains.
+        Guaranteed bit-identical to the full-rebuild pipeline (the
+        equivalence matrix in ``tests/sim/test_incremental_equivalence``
+        covers plain/lossy/chaos/resume); requires lca clustering and
+        the rendezvous hash.  Part of the scenario, so cached sweeps key
+        the two pipelines separately.
     seed:
         Root seed for all randomness.
     """
@@ -202,6 +213,7 @@ class Scenario:
     slo_success_threshold: float = 0.9
     slo_window: int = 3
     hop_sample_every: int = 25
+    incremental_hierarchy: bool = False
     seed: int = 0
 
     # Numeric fields screened for NaN/inf before any range check runs
@@ -349,6 +361,17 @@ class Scenario:
                 f"hop_sample_every must be >= 1, got "
                 f"{self.hop_sample_every!r} (1 samples every metered step)"
             )
+        if self.incremental_hierarchy:
+            if self.clustering != "lca":
+                raise ValueError(
+                    "incremental_hierarchy patches LCA elections; "
+                    f"clustering={self.clustering!r} has no delta plane"
+                )
+            if self.hash_fn != "rendezvous":
+                raise ValueError(
+                    "incremental_hierarchy patches rendezvous descent "
+                    f"chains; hash_fn={self.hash_fn!r} is not supported"
+                )
         # Chaos episodes: spec strings are parsed here (each episode
         # dataclass validates its own window/rates with actionable
         # messages), so a malformed schedule fails at construction, not

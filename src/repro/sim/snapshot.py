@@ -63,6 +63,11 @@ class StepSnapshot:
         when the run injects no faults — the mask then would be
         all-False).  Crashed nodes keep their identity but hold no
         links in ``edges``.
+    delta:
+        The step's :class:`~repro.hierarchy.delta.HierarchyDelta`
+        (``None`` when the run does not use the event-driven hierarchy
+        plane, and on the baseline snapshot).  Collectors may use its
+        dirty sets to scope their own diffs.
     """
 
     t: float
@@ -76,3 +81,4 @@ class StepSnapshot:
     scenario: Scenario
     assignment: Any
     down: np.ndarray | None = None
+    delta: Any = None

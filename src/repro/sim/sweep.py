@@ -71,11 +71,14 @@ __all__ = [
     "print_progress",
 ]
 
-CODE_VERSION = "4"
+CODE_VERSION = "5"
 """Simulator-semantics version baked into every cache key (and every
 checkpoint).  Bump this whenever a change alters what
 :func:`repro.sim.engine.run_scenario` returns for a given scenario; old
-cache entries then miss cleanly and old checkpoints refuse to resume."""
+cache entries then miss cleanly and old checkpoints refuse to resume.
+
+Version 5: the handoff engine iterates candidate keys in sorted order,
+which re-orders lossy-channel RNG draws (lossless series unchanged)."""
 
 
 # -- cache keys ---------------------------------------------------------------------

@@ -122,3 +122,65 @@ class TestLoadBalanceComparison:
         ren = full_assignment(h, "rendezvous").load()
         nai = full_assignment(h, "naive").load()
         assert max(ren.values()) < max(nai.values())
+
+
+class TestChainedAssignment:
+    """Incremental CHLM: chains + dirty-cluster patching.
+
+    ``assignment_with_chains`` must reproduce ``full_assignment``'s
+    rendezvous servers exactly, and ``patch_assignment`` must keep that
+    equality over churn while only re-descending dirty keys."""
+
+    def _snapshots(self, seed, steps=6, n=120, drift=0.6):
+        from repro.geometry import disc_for_density
+
+        rng = np.random.default_rng(seed)
+        density = 0.02
+        r_tx = radius_for_degree(9.0, density)
+        pts = disc_for_density(n, density).sample(n, rng)
+        out = []
+        for _ in range(steps):
+            edges = unit_disk_edges(pts, r_tx)
+            out.append(build_hierarchy(np.arange(n), edges, max_levels=3,
+                                       level_mode="radio", positions=pts,
+                                       r0=r_tx))
+            pts = pts + rng.normal(scale=drift, size=pts.shape)
+        return out
+
+    def test_chains_match_full_assignment(self):
+        from repro.core import assignment_with_chains
+
+        for h in self._snapshots(seed=0, steps=2):
+            chained = assignment_with_chains(h)
+            assert chained.servers == full_assignment(h, "rendezvous").servers
+
+    @pytest.mark.parametrize("seed", [1, 4])
+    def test_patching_matches_full_assignment_over_churn(self, seed):
+        from repro.core import assignment_with_chains, patch_assignment
+        from repro.hierarchy import compute_delta
+
+        snaps = self._snapshots(seed=seed)
+        prev_h = snaps[0]
+        chained = assignment_with_chains(prev_h)
+        for h in snaps[1:]:
+            delta = compute_delta(prev_h, h)
+            assert not delta.full
+            chained, dirty_keys = patch_assignment(chained, h, delta)
+            ref = full_assignment(h, "rendezvous").servers
+            assert chained.servers == ref
+            # Dirty keys are sound: every key that actually changed
+            # server (or appeared/vanished) is flagged.
+            prev_servers = assignment_with_chains(prev_h).servers
+            changed = {k for k in set(ref) | set(prev_servers)
+                       if prev_servers.get(k) != ref.get(k)}
+            assert changed <= set(dirty_keys)
+            prev_h = h
+
+    def test_patch_rejects_full_delta(self):
+        from repro.core import assignment_with_chains, patch_assignment
+        from repro.hierarchy import compute_delta
+
+        h = self._snapshots(seed=2, steps=1)[0]
+        chained = assignment_with_chains(h)
+        with pytest.raises(ValueError):
+            patch_assignment(chained, h, compute_delta(None, h))

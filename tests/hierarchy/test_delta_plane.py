@@ -1,0 +1,205 @@
+"""Event-driven hierarchy plane: bit-identity against the full rebuild.
+
+:class:`DeltaPlane` claims the strongest possible contract: the
+hierarchy it patches from link deltas is **bit-identical** — every
+level's node set, edge array, and all five election fields — to a
+from-scratch :func:`build_hierarchy` on the same topology.  The fuzz
+harnesses here drive it with drifting positions, crash bursts, and
+partitions; the delta tests pin :class:`HierarchyDelta`'s exactness
+claims (dirty cells = exactly the clusters whose member lists changed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import elect
+from repro.geometry import disc_for_density
+from repro.hierarchy import (
+    DeltaPlane,
+    LazyClusters,
+    build_hierarchy,
+    compute_delta,
+)
+from repro.radio import radius_for_degree, unit_disk_edges
+
+DENSITY = 0.02
+R_TX = radius_for_degree(9.0, DENSITY)
+
+
+def assert_hierarchies_identical(a, b):
+    assert a.num_levels == b.num_levels
+    for la, lb in zip(a.levels, b.levels):
+        assert la.k == lb.k
+        assert np.array_equal(la.node_ids, lb.node_ids)
+        assert np.array_equal(la.edges, lb.edges)
+        ea, eb = la.election, lb.election
+        assert (ea is None) == (eb is None)
+        if ea is not None:
+            assert np.array_equal(ea.node_ids, eb.node_ids)
+            assert np.array_equal(ea.elected_head, eb.elected_head)
+            assert np.array_equal(ea.member_of, eb.member_of)
+            assert np.array_equal(ea.elector_count, eb.elector_count)
+            assert np.array_equal(ea.clusterheads, eb.clusterheads)
+
+
+class TestBuildModeBitIdentity:
+    @pytest.mark.parametrize("seed,drift", [(0, 0.3), (3, 0.8), (9, 2.0)])
+    def test_radio_mode_matches_full_rebuild(self, seed, drift):
+        n = 130
+        rng = np.random.default_rng(seed)
+        pts = disc_for_density(n, DENSITY).sample(n, rng)
+        plane = DeltaPlane(n, max_levels=3, level_mode="radio", r0=R_TX)
+        for _ in range(12):
+            edges = unit_disk_edges(pts, R_TX)
+            h = plane.advance(edges, pts)
+            ref = build_hierarchy(np.arange(n), edges, max_levels=3,
+                                  level_mode="radio", positions=pts,
+                                  r0=R_TX)
+            assert_hierarchies_identical(h, ref)
+            pts = pts + rng.normal(scale=drift, size=pts.shape)
+
+    def test_contraction_mode_matches_full_rebuild(self):
+        n = 100
+        rng = np.random.default_rng(4)
+        pts = disc_for_density(n, DENSITY).sample(n, rng)
+        plane = DeltaPlane(n, max_levels=3, level_mode="contraction")
+        for _ in range(8):
+            edges = unit_disk_edges(pts, R_TX)
+            h = plane.advance(edges, pts)
+            ref = build_hierarchy(np.arange(n), edges, max_levels=3,
+                                  level_mode="contraction")
+            assert_hierarchies_identical(h, ref)
+            pts = pts + rng.normal(scale=0.6, size=pts.shape)
+
+    def test_crash_and_partition_bursts(self):
+        """Chaos-shaped topology changes: edges filtered by crashed
+        nodes and a severed half-plane, exactly what the simulator's
+        chaos engine feeds the plane."""
+        n = 110
+        rng = np.random.default_rng(7)
+        pts = disc_for_density(n, DENSITY).sample(n, rng)
+        plane = DeltaPlane(n, max_levels=3, level_mode="radio", r0=R_TX)
+        down = np.zeros(n, dtype=bool)
+        for step in range(10):
+            edges = unit_disk_edges(pts, R_TX)
+            if step == 3:  # crash burst
+                down[rng.choice(n, size=12, replace=False)] = True
+            if step == 6:  # repair + partition along x=median
+                down[:] = False
+                cut = pts[:, 0] < np.median(pts[:, 0])
+                keep = cut[edges[:, 0]] == cut[edges[:, 1]]
+                edges = edges[keep]
+            if down.any():
+                keep = ~(down[edges[:, 0]] | down[edges[:, 1]])
+                edges = edges[keep]
+            h = plane.advance(edges, pts)
+            ref = build_hierarchy(np.arange(n), edges, max_levels=3,
+                                  level_mode="radio", positions=pts,
+                                  r0=R_TX)
+            assert_hierarchies_identical(h, ref)
+            pts = pts + rng.normal(scale=0.4, size=pts.shape)
+
+
+class TestHierarchyDelta:
+    def _two_snapshots(self, seed=1, drift=0.5, n=120):
+        rng = np.random.default_rng(seed)
+        pts0 = disc_for_density(n, DENSITY).sample(n, rng)
+        pts1 = pts0 + rng.normal(scale=drift, size=pts0.shape)
+        mk = lambda p: build_hierarchy(
+            np.arange(n), unit_disk_edges(p, R_TX), max_levels=3,
+            level_mode="radio", positions=p, r0=R_TX)
+        return mk(pts0), mk(pts1)
+
+    def test_full_flag_cases(self):
+        h0, h1 = self._two_snapshots()
+        assert compute_delta(None, h1).full
+        assert compute_delta(h0, None).full
+        assert not compute_delta(h0, h1).full
+        with pytest.raises(ValueError):
+            compute_delta(None, h1).dirty_sets()
+
+    def test_level_changed_masks_are_exact(self):
+        h0, h1 = self._two_snapshots(seed=2)
+        d = compute_delta(h0, h1)
+        assert not d.level_changed[0].any()
+        for k in range(1, h1.num_levels + 1):
+            assert np.array_equal(d.level_changed[k],
+                                  h0.ancestry(k) != h1.ancestry(k))
+        assert d.n_changed >= 0
+
+    def test_dirty_cells_are_exactly_changed_member_lists(self):
+        """A level-d cell is dirty iff its member list (as a set of
+        level-(d-1) IDs) differs between the snapshots — no more, no
+        less.  This is the exactness the chain patcher relies on."""
+        h0, h1 = self._two_snapshots(seed=5, drift=1.0)
+        d = compute_delta(h0, h1)
+        for lvl in range(1, h1.num_levels + 1):
+            c0 = h0.levels[lvl - 1].election.clusters()
+            c1 = h1.levels[lvl - 1].election.clusters()
+            expect = sorted(
+                cid for cid in set(c0) | set(c1)
+                if not np.array_equal(c0.get(cid, np.empty(0)),
+                                      c1.get(cid, np.empty(0)))
+            )
+            assert d.dirty_cells[lvl].tolist() == expect
+
+    def test_dirty_sets_match_fabric_cache_format(self):
+        h0, h1 = self._two_snapshots(seed=8)
+        sets = compute_delta(h0, h1).dirty_sets()
+        assert len(sets) == h1.num_levels + 1
+        for k in range(1, h1.num_levels + 1):
+            moved = h0.ancestry(k) != h1.ancestry(k)
+            expect = set()
+            if moved.any():
+                expect = set(np.unique(h0.ancestry(k)[moved]).tolist())
+                expect |= set(np.unique(h1.ancestry(k)[moved]).tolist())
+            assert sets[k] == expect
+
+    def test_identical_snapshots_have_empty_delta(self):
+        h0, _ = self._two_snapshots(seed=3)
+        d = compute_delta(h0, h0)
+        assert not d.full and d.n_changed == 0 and not d.top_changed
+        for cells in d.dirty_cells:
+            assert cells.size == 0
+
+
+class TestLazyClusters:
+    def test_matches_eager_clusters(self):
+        rng = np.random.default_rng(6)
+        n = 90
+        pts = disc_for_density(n, DENSITY).sample(n, rng)
+        el = elect(np.arange(n), unit_disk_edges(pts, R_TX))
+        lazy = LazyClusters(el)
+        for cid, members in el.clusters().items():
+            assert np.array_equal(lazy[int(cid)], members)
+        with pytest.raises(KeyError):
+            lazy[-1]
+
+
+class TestModesAndValidation:
+    def test_adopt_mode_rejects_advance(self):
+        plane = DeltaPlane(10, level_mode="contraction", build=False)
+        with pytest.raises(RuntimeError, match="adopt"):
+            plane.advance(np.empty((0, 2), dtype=np.int64))
+
+    def test_adopt_tracks_deltas(self):
+        h0, h1 = TestHierarchyDelta()._two_snapshots(seed=12)
+        plane = DeltaPlane(h0.n, level_mode="radio", build=False)
+        plane.adopt(h0)
+        assert plane.delta().full  # no predecessor yet
+        plane.adopt(h1)
+        d = plane.delta()
+        assert not d.full and d.h0 is h0 and d.h1 is h1
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="level_mode"):
+            DeltaPlane(10, level_mode="bogus")
+        with pytest.raises(ValueError, match="r0"):
+            DeltaPlane(10, level_mode="radio")  # build mode needs r0
+        with pytest.raises(ValueError, match="two nodes"):
+            DeltaPlane(1, level_mode="contraction")
+
+    def test_radio_advance_requires_positions(self):
+        plane = DeltaPlane(10, level_mode="radio", r0=1.0)
+        with pytest.raises(ValueError, match="positions"):
+            plane.advance(np.array([[0, 1]], dtype=np.int64))

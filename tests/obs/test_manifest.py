@@ -123,3 +123,31 @@ class TestTraceRoundTrip:
         path.write_text('{"t": 1.0, "kind": "x", "payload": {}}\n')
         with pytest.raises(ValueError, match="header"):
             EventTrace.from_jsonl(path)
+
+
+class TestReorgBreakdown:
+    def test_manifest_carries_event_taxonomy(self, profiled_result):
+        """(i)-(vii) counts and rates surface as JSON-safe metrics, and
+        agree with the ledger's own breakdown."""
+        m = RunManifest.from_result(profiled_result, hop_sample_every=4)
+        bd = profiled_result.ledger.reorg_event_breakdown()
+        assert bd  # a mobile run produces reorg events
+        for kind, entry in bd.items():
+            assert m.metrics[f"reorg_{kind}_count"] == entry["count"]
+            assert m.metrics[f"reorg_{kind}_rate"] == entry["rate"]
+        # Round-trips through JSON untouched.
+        import json
+
+        back = RunManifest.from_dict(json.loads(m.to_json()))
+        for kind in bd:
+            assert back.metrics[f"reorg_{kind}_count"] == bd[kind]["count"]
+
+    def test_breakdown_sums_levels(self, profiled_result):
+        lg = profiled_result.ledger
+        bd = lg.reorg_event_breakdown()
+        for kind, entry in bd.items():
+            expect = sum(v for (k, _lvl), v in lg.reorg_event_counts.items()
+                         if k.value == kind)
+            assert entry["count"] == expect
+        assert sum(e["count"] for e in bd.values()) == \
+            sum(lg.reorg_event_counts.values())

@@ -154,3 +154,29 @@ class TestRealSweep:
         rep.finish(run)
         assert rep.per_n_phases() == {}
         assert "phase mean" not in rep.render()
+
+
+class TestReorgEventSummary:
+    def test_sums_ledgers_and_renders(self):
+        from dataclasses import replace
+
+        from repro.sim import run_scenario
+
+        r1 = run_scenario(BASE, hop_sample_every=4)
+        r2 = run_scenario(replace(BASE, seed=5), hop_sample_every=4)
+        rep = SweepReport()
+        rep.results = [r1, r2]
+        summary = rep.reorg_event_summary()
+        b1 = r1.ledger.reorg_event_breakdown()
+        b2 = r2.ledger.reorg_event_breakdown()
+        for kind in set(b1) | set(b2):
+            expect = (b1.get(kind, {}).get("count", 0)
+                      + b2.get(kind, {}).get("count", 0))
+            assert summary[kind] == expect
+        line = [l for l in rep.to_lines() if l.startswith("reorg")]
+        assert len(line) == 1 and "dominates gamma" in line[0]
+
+    def test_empty_results_render_no_reorg_line(self):
+        rep = SweepReport()
+        assert rep.reorg_event_summary() == {}
+        assert not [l for l in rep.to_lines() if l.startswith("reorg")]

@@ -1,0 +1,81 @@
+"""Verlet edge cache: exactness fuzz and rebuild accounting.
+
+The cache's output must be **bit-identical** to a fresh
+:func:`unit_disk_edges` call on every step — same pairs, same order,
+same dtype — no matter how positions drift.  The drift threshold
+(rebuild when ``2 * max_drift > skin * r_tx``) is the documented
+amortization knob; see docs/PERFORMANCE.md for when it pays.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import disc_for_density
+from repro.radio import VerletEdgeCache, radius_for_degree, unit_disk_edges
+
+DENSITY = 0.02
+R_TX = radius_for_degree(9.0, DENSITY)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bit_identical_over_random_walk(self, seed):
+        n = 120
+        rng = np.random.default_rng(seed)
+        pts = disc_for_density(n, DENSITY).sample(n, rng)
+        cache = VerletEdgeCache(R_TX)
+        for _ in range(30):
+            got = cache.edges(pts)
+            ref = unit_disk_edges(pts, R_TX)
+            assert got.dtype == ref.dtype
+            assert np.array_equal(got, ref)
+            pts = pts + rng.normal(scale=0.5, size=pts.shape)
+        # The walk drifts ~0.5/step against a ~2.4 rebuild margin: the
+        # cache must have both rebuilt and reused at least once.
+        assert 1 < cache.rebuilds < 30
+
+    def test_teleport_forces_rebuild(self):
+        rng = np.random.default_rng(7)
+        pts = disc_for_density(80, DENSITY).sample(80, rng)
+        cache = VerletEdgeCache(R_TX)
+        cache.edges(pts)
+        assert cache.rebuilds == 1
+        moved = pts.copy()
+        moved[0] += R_TX  # one node jumps a full radius
+        assert np.array_equal(cache.edges(moved),
+                              unit_disk_edges(moved, R_TX))
+        assert cache.rebuilds == 2
+
+    def test_static_positions_never_rebuild_again(self):
+        rng = np.random.default_rng(2)
+        pts = disc_for_density(60, DENSITY).sample(60, rng)
+        cache = VerletEdgeCache(R_TX)
+        for _ in range(5):
+            cache.edges(pts)
+        assert cache.rebuilds == 1
+
+    def test_population_change_rebuilds(self):
+        rng = np.random.default_rng(3)
+        pts = disc_for_density(50, DENSITY).sample(50, rng)
+        cache = VerletEdgeCache(R_TX)
+        cache.edges(pts)
+        grown = np.vstack([pts, pts[:5] + 0.1])
+        assert np.array_equal(cache.edges(grown),
+                              unit_disk_edges(grown, R_TX))
+        assert cache.rebuilds == 2
+
+
+class TestValidation:
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(ValueError, match="r_tx"):
+            VerletEdgeCache(0.0)
+
+    def test_rejects_nonpositive_skin(self):
+        with pytest.raises(ValueError, match="skin"):
+            VerletEdgeCache(R_TX, skin=0.0)
+
+    def test_empty_candidate_list(self):
+        """Nodes too far apart: no candidates, still exact."""
+        pts = np.array([[0.0, 0.0], [100.0 * R_TX, 0.0]])
+        cache = VerletEdgeCache(R_TX)
+        assert cache.edges(pts).shape == (0, 2)

@@ -221,3 +221,43 @@ class TestMessagingIntegration:
         # Delivery-only workloads never materialize flood records (lazy
         # tables), but the forward()-path flood caches do carry over.
         assert svc_inc._fabric_cache.stats.floods_reused > 0
+
+
+class TestSharedDirtySets:
+    def test_delta_plane_dirty_sets_match_internal_diff(self):
+        """The event plane's ``HierarchyDelta.dirty_sets()`` must stand
+        in exactly for the ancestry diff ``_carry`` computes itself —
+        same sets, hence the same fabric, record for record."""
+        from repro.hierarchy import compute_delta
+
+        n = 130
+        rng = np.random.default_rng(21)
+        pts = disc_for_density(n, DENSITY).sample(n, rng)
+        tr_a, tr_b = LinkTracker(n), LinkTracker(n)
+        cache_int = FabricCache()   # computes dirty sets internally
+        cache_ext = FabricCache()   # fed the delta plane's sets
+        prev_h = None
+        for step in range(6):
+            h, g, edges = snapshot(n, pts)
+            delta = compute_delta(prev_h, h)
+            dirty = None if delta.full else delta.dirty_sets()
+            if prev_h is not None:
+                # The shared sets are literally what _carry derives.
+                expect = [set() for _ in range(h.num_levels + 1)]
+                for k in range(1, h.num_levels + 1):
+                    moved = prev_h.ancestry(k) != h.ancestry(k)
+                    if moved.any():
+                        expect[k] = set(np.unique(
+                            prev_h.ancestry(k)[moved]).tolist())
+                        expect[k] |= set(np.unique(
+                            h.ancestry(k)[moved]).tolist())
+                assert dirty == expect
+            fab_int = cache_int.update(h, g, tr_a.observe(edges))
+            fab_ext = cache_ext.update(h, g, tr_b.observe(edges),
+                                       dirty=dirty)
+            ref = ForwardingFabric(h, g, mode="reference")
+            assert_fabrics_equal(fab_ext, ref, n, 300 + step)
+            assert_fabrics_equal(fab_ext, fab_int, n, 600 + step)
+            prev_h = h
+            pts = pts + rng.normal(scale=0.4, size=pts.shape)
+        assert cache_ext.stats.records_reused > 0

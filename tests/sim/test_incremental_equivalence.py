@@ -1,0 +1,152 @@
+"""Equivalence matrix for the event-driven hierarchy plane.
+
+The standing contract of every incremental feature in this repo:
+switched on, ``Scenario.incremental_hierarchy`` must produce **the same
+numbers** as the full per-step rebuild — every series, every per-level
+breakdown, every (i)-(vii) event count — across plain, lossy, chaos,
+stateful-election, and contraction regimes, and through a
+checkpoint/resume cycle.  No tolerance, no "statistically close":
+bit-identical.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sim import Scenario, run_scenario
+from repro.sim.engine import Simulator
+
+
+def _fingerprint(res):
+    lg = res.ledger
+    return (
+        res.phi, res.gamma, res.f0, res.handoff_rate,
+        res.mean_degree, res.giant_fraction,
+        tuple(sorted(lg.phi_k().items())),
+        tuple(sorted(lg.gamma_k().items())),
+        tuple(sorted(lg.f_k().items())),
+        tuple(sorted(
+            ((kind.value, lvl), count)
+            for (kind, lvl), count in lg.reorg_event_counts.items()
+        )),
+        lg.retransmitted_packets, lg.abandoned_entries,
+        lg.recovered_entries, lg.recovery_time_total,
+        tuple(lg.stale_series),
+        tuple(res.h_network),
+        tuple((k, tuple(v)) for k, v in sorted(res.h_levels.items())),
+    )
+
+
+def _pair(sc, hop_sample_every=25):
+    """Run the scenario with the delta plane off and on."""
+    off = run_scenario(replace(sc, incremental_hierarchy=False),
+                       hop_sample_every=hop_sample_every)
+    on = run_scenario(replace(sc, incremental_hierarchy=True),
+                      hop_sample_every=hop_sample_every)
+    return off, on
+
+
+class TestRegimeMatrix:
+    def test_plain(self):
+        off, on = _pair(Scenario(n=80, steps=8, warmup=2, seed=3,
+                                 max_levels=3))
+        assert _fingerprint(off) == _fingerprint(on)
+
+    def test_lossy_with_queries(self):
+        off, on = _pair(Scenario(n=100, steps=12, warmup=3, seed=11,
+                                 max_levels=3, loss_rate=0.08,
+                                 retry_attempts=3, queries_per_step=4))
+        assert _fingerprint(off) == _fingerprint(on)
+        assert off.queries.attempts == on.queries.attempts
+        assert off.queries.success_series == on.queries.success_series
+
+    def test_chaos_crash_and_partition(self):
+        off, on = _pair(Scenario(
+            n=90, steps=12, warmup=3, seed=7, max_levels=3,
+            chaos=("crash:start=2,duration=4,rate=0.04,repair=3",
+                   "partition:start=7,duration=3"),
+        ))
+        assert _fingerprint(off) == _fingerprint(on)
+        assert (off.extras["chaos"].total_violations
+                == on.extras["chaos"].total_violations)
+
+    def test_sticky_elections(self):
+        off, on = _pair(Scenario(n=80, steps=10, warmup=2, seed=5,
+                                 max_levels=3, election_mode="sticky"))
+        assert _fingerprint(off) == _fingerprint(on)
+
+    def test_persistent_elections(self):
+        off, on = _pair(Scenario(n=80, steps=10, warmup=2, seed=9,
+                                 max_levels=3, election_mode="persistent"))
+        assert _fingerprint(off) == _fingerprint(on)
+
+    def test_contraction_levels(self):
+        off, on = _pair(Scenario(n=80, steps=8, warmup=2, seed=13,
+                                 max_levels=3, level_mode="contraction"))
+        assert _fingerprint(off) == _fingerprint(on)
+
+
+class TestResume:
+    def test_resumed_incremental_run_is_bit_identical(self, tmp_path):
+        """Interrupt an incremental run mid-flight; the resumed half
+        must reproduce the uninterrupted run exactly (the delta plane
+        and edge cache ride the checkpoint)."""
+        sc = Scenario(n=80, steps=12, warmup=3, seed=0, max_levels=3,
+                      incremental_hierarchy=True)
+        baseline = Simulator(sc).run()
+
+        path = tmp_path / "inc.ckpt"
+        Simulator(sc).run(checkpoint_every=5, checkpoint_path=str(path))
+        resumed_sim = Simulator.restore(str(path))
+        assert 0 < resumed_sim.next_step < sc.steps
+        assert resumed_sim._delta_plane is not None
+        assert resumed_sim._edge_cache is not None
+        resumed = resumed_sim.run()
+        assert _fingerprint(baseline) == _fingerprint(resumed)
+
+    def test_resume_matches_full_rebuild_run(self, tmp_path):
+        """Transitively: resumed-incremental == incremental == full."""
+        sc = Scenario(n=70, steps=10, warmup=2, seed=4, max_levels=3)
+        full = run_scenario(sc, hop_sample_every=25)
+
+        inc = replace(sc, incremental_hierarchy=True)
+        path = tmp_path / "inc2.ckpt"
+        Simulator(inc).run(checkpoint_every=4, checkpoint_path=str(path))
+        resumed = Simulator.restore(str(path)).run()
+        assert _fingerprint(full) == _fingerprint(resumed)
+
+
+class TestScenarioValidation:
+    def test_requires_lca_clustering(self):
+        with pytest.raises(ValueError, match="delta plane"):
+            Scenario(n=40, steps=4, clustering="maxmin",
+                     incremental_hierarchy=True)
+
+    def test_requires_rendezvous_hash(self):
+        with pytest.raises(ValueError, match="rendezvous"):
+            Scenario(n=40, steps=4, hash_fn="naive",
+                     incremental_hierarchy=True)
+
+    def test_flag_changes_sweep_cache_key(self):
+        """Incremental runs must never collide with full-rebuild cache
+        entries (they are equivalent, but the cache must not *assume*
+        it)."""
+        from repro.sim.sweep import scenario_key
+
+        off = Scenario(n=40, steps=4)
+        on = replace(off, incremental_hierarchy=True)
+        assert scenario_key(off) != scenario_key(on)
+
+
+class TestCliFlag:
+    @pytest.mark.parametrize("cmd", ["simulate", "serve", "sweep"])
+    def test_parser_accepts_both_forms(self, cmd):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        on = parser.parse_args([cmd, "--incremental-hierarchy"])
+        off = parser.parse_args([cmd, "--no-incremental-hierarchy"])
+        default = parser.parse_args([cmd])
+        assert on.incremental_hierarchy is True
+        assert off.incremental_hierarchy is False
+        assert default.incremental_hierarchy is False
