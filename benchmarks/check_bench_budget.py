@@ -23,7 +23,20 @@ and enforces two ratios:
   n=400) must stay *under* ``HIERARCHY_BUDGET``x (< 1) of the full
   re-election it replaces (``test_bench_hierarchy_full_rebuild``) —
   the event-driven plane only earns its complexity by being cheaper
-  than the rebuild.  Measured ~0.7x at introduction.
+  than the rebuild.  Measured ~0.7x at introduction;
+* the vectorized query resolver (``test_bench_batch_query``, 1000
+  lookups) must stay under ``BATCH_QUERY_BUDGET``x (<= 0.05, i.e. a
+  >= 20x speedup) of the scalar oracle *per query*
+  (``test_bench_scalar_query`` runs 100 lookups; the check normalizes
+  by the per-benchmark query counts).  Measured ~130x at introduction;
+* the shared-memory result transport
+  (``test_bench_result_transport_shm``) must stay within
+  ``SHM_BUDGET``x of an in-process pickle round-trip on the same
+  ~48 MB payload (``test_bench_result_transport_pickle``).  The
+  segment path inherently stages two extra copies (worker write-in,
+  parent read-out), so ~2x in-process is expected — the budget pins
+  that it never grows further; its end-to-end win (skipping the
+  executor pipe's chunked transfer) is EXP-S1's job to demonstrate.
 
 Exit status is non-zero on violation, so CI fails the build.
 
@@ -40,12 +53,26 @@ INCREMENTAL_BUDGET = 2.0
 CHAOS_BUDGET = 2.0
 SERVICE_BUDGET = 4.0
 HIERARCHY_BUDGET = 0.85
+BATCH_QUERY_BUDGET = 0.05
+SHM_BUDGET = 2.5
+
+# test_bench_batch_query resolves 1000 lookups per round while
+# test_bench_scalar_query resolves 100, so the raw wall-clock ratio is
+# scaled by 100/1000 to compare per-query costs.
+_BATCH_QUERY_SCALE = 100 / 1000
 
 
-def mean_of(benchmarks: list[dict], name: str) -> float:
+#: Benchmarks that legitimately skip on some hosts (no /dev/shm); their
+#: check is skipped rather than treated as a missing result.
+OPTIONAL = {"test_bench_result_transport_shm"}
+
+
+def mean_of(benchmarks: list[dict], name: str) -> float | None:
     for b in benchmarks:
         if b["name"] == name:
             return float(b["stats"]["mean"])
+    if name in OPTIONAL:
+        return None
     raise SystemExit(f"benchmark {name!r} missing from results")
 
 
@@ -63,16 +90,25 @@ def main(path: str) -> int:
          SERVICE_BUDGET),
         ("test_bench_hierarchy_incremental", "test_bench_hierarchy_full_rebuild",
          HIERARCHY_BUDGET),
+        ("test_bench_batch_query", "test_bench_scalar_query",
+         BATCH_QUERY_BUDGET, _BATCH_QUERY_SCALE),
+        ("test_bench_result_transport_shm", "test_bench_result_transport_pickle",
+         SHM_BUDGET),
     ]
     failed = False
-    for name, baseline, budget in checks:
+    for name, baseline, budget, *rest in checks:
+        scale = rest[0] if rest else 1.0
         t, ref = mean_of(benchmarks, name), mean_of(benchmarks, baseline)
-        ratio = t / ref
+        if t is None or ref is None:
+            print(f"SKIP: {name} (benchmark skipped on this host)")
+            continue
+        ratio = t / ref * scale
         status = "OK" if ratio <= budget else "FAIL"
         if ratio > budget:
             failed = True
-        print(f"{status}: {name} {t * 1e3:.1f} ms = {ratio:.2f}x {baseline} "
-              f"(budget {budget:g}x)")
+        unit = " per query" if scale != 1.0 else ""
+        print(f"{status}: {name} {t * 1e3:.1f} ms = {ratio:.3g}x{unit} "
+              f"{baseline} (budget {budget:g}x)")
     return 1 if failed else 0
 
 

@@ -75,6 +75,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "hierarchy and descent chains from link deltas "
                             "instead of rebuilding per step (bit-identical "
                             "results; requires memoryless LCA elections)")
+    p_sim.add_argument("--verlet-skin", type=float, default=0.5,
+                       help="Verlet candidate-radius inflation for the "
+                            "incremental pipeline (rebuild after "
+                            "skin*R_tx/2 drift; bit-identical output)")
     p_sim.add_argument("--loss-rate", type=float, default=0.0,
                        help="per-hop control-packet loss probability "
                             "(default 0 = lossless)")
@@ -149,6 +153,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "hierarchy and descent chains from link deltas "
                             "instead of rebuilding per step (bit-identical "
                             "results)")
+    p_srv.add_argument("--verlet-skin", type=float, default=0.5,
+                       help="Verlet candidate-radius inflation for the "
+                            "incremental pipeline (bit-identical output)")
     p_srv.add_argument("--arrival-rate", type=float, default=50.0,
                        help="mean service arrivals per simulated second "
                             "(default 50; must be > 0)")
@@ -208,6 +215,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="event-driven control plane for every task "
                            "(bit-identical results; cached under a "
                            "distinct key)")
+    p_sw.add_argument("--verlet-skin", type=float, default=0.5,
+                      help="Verlet candidate-radius inflation for the "
+                           "incremental pipeline (bit-identical output)")
     p_sw.add_argument("--loss-rate", type=float, default=0.0,
                       help="per-hop control-packet loss probability "
                            "(default 0 = lossless)")
@@ -355,6 +365,7 @@ def _cmd_simulate(args) -> int:
         loss_rate=args.loss_rate, retry_attempts=args.retry_attempts,
         chaos=tuple(args.chaos or ()), invariant_mode=args.invariant_mode,
         incremental_hierarchy=args.incremental_hierarchy,
+        verlet_skin=args.verlet_skin,
     )
     if args.preset:
         from repro.sim import make_scenario
@@ -477,6 +488,7 @@ def _cmd_serve(args) -> int:
         service_update_fraction=args.update_fraction,
         service_scheme=args.scheme,
         incremental_hierarchy=args.incremental_hierarchy,
+        verlet_skin=args.verlet_skin,
     )
     if args.preset:
         from repro.sim import make_scenario
@@ -568,6 +580,7 @@ def _cmd_sweep(args) -> int:
         hop_mode=args.hops,
         loss_rate=args.loss_rate, retry_attempts=args.retry_attempts,
         incremental_hierarchy=args.incremental_hierarchy,
+        verlet_skin=args.verlet_skin,
     )
     lossy = base.faults_enabled
     metrics = {

@@ -6,6 +6,13 @@ Theta(log^2 |V|) overhead bound of Sections 4-5.
 """
 
 from repro.core.accounting import OverheadLedger
+from repro.core.batch_query import (
+    BatchProbePlans,
+    BatchQueryResult,
+    BatchResolver,
+    BatchUpdatePlans,
+    resolve_batch,
+)
 from repro.core.database import LMDatabase, LocationRecord
 from repro.core.events import (
     EventKind,
@@ -34,6 +41,11 @@ from repro.core.servers import (
 
 __all__ = [
     "OverheadLedger",
+    "BatchProbePlans",
+    "BatchQueryResult",
+    "BatchResolver",
+    "BatchUpdatePlans",
+    "resolve_batch",
     "LMDatabase",
     "LocationRecord",
     "EventKind",

@@ -21,6 +21,7 @@ from repro.experiments import (
     e_f1_hierarchy,
     e_f2_gls_grid,
     e_f3_alca_states,
+    e_s1_scaling,
     e_t1_link_freq,
     e_t2_hopcount,
     e_t3_migration_freq,
@@ -60,6 +61,7 @@ ALL_EXPERIMENTS = {
     "EXP-A10": e_a10_lossy_control.run,
     "EXP-A11": e_a11_chaos.run,
     "EXP-A12": e_a12_service_load.run,
+    "EXP-S1": e_s1_scaling.run,
 }
 
 __all__ = ["ExperimentResult", "ALL_EXPERIMENTS"]

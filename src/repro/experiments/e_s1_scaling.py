@@ -1,0 +1,177 @@
+"""EXP-S1 — scale substrate: handoff overhead and batch queries at 10^5 nodes.
+
+The paper's headline claim (Eq. 6c) is asymptotic — phi = O(log^2 |V|)
+— but every other experiment in this harness stops around |V| = 3200,
+where log^2 |V| only spans a factor of ~2.  This study pushes the
+measured per-node handoff rate to |V| = 10^5 (a 4x span of log^2 |V|),
+which is only tractable on the vectorized substrate:
+
+* simulations run through the sweep runner with shared-memory result
+  transport (:mod:`repro.sim.shm`), so the ~100 MB result payloads at
+  the top sizes skip the executor pipe;
+* the hierarchy is maintained incrementally (``incremental_hierarchy``)
+  with Verlet-cached candidate edges feeding link diffs straight into
+  the delta plane;
+* a query throughput probe at the largest size replays the final
+  topology and resolves a batch of lookups through
+  :class:`repro.core.BatchResolver`, comparing against the scalar
+  resolver on a subsample.
+
+Few metered steps (the default ``steps=3``) keep the wall clock in
+minutes; the handoff *rate* is a per-second quantity, so short runs
+measure it at full precision — only seed-to-seed variance suffers,
+which the multi-seed mean absorbs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import levels_for, phi_total_prediction
+from repro.core import BatchResolver, full_assignment, resolve
+from repro.experiments.common import ExperimentResult
+from repro.hierarchy import build_hierarchy
+from repro.radio import unit_disk_edges
+from repro.sim import Scenario, expand_grid, run_sweep
+from repro.sim.hops import EuclideanHops
+
+__all__ = ["run"]
+
+#: Probe size for the batched end of the throughput comparison.
+BATCH_PROBE_QUERIES = 10_000
+#: Scalar-resolver subsample (full 10^4 scalar queries would dominate
+#: the experiment's wall clock — the per-query mean is stable long
+#: before that).
+SCALAR_PROBE_QUERIES = 200
+
+
+def _batch_probe(res) -> dict:
+    """Query throughput on a run's final snapshot.
+
+    Rebuilds the topology from ``SimResult.final_positions`` (no
+    re-simulation), then times ``BATCH_PROBE_QUERIES`` lookups through
+    the batch resolver against ``SCALAR_PROBE_QUERIES`` through the
+    scalar oracle.
+    """
+    sc = res.scenario
+    pts = res.final_positions
+    edges = unit_disk_edges(pts, sc.r_tx)
+    hier = build_hierarchy(
+        np.arange(sc.n), edges, max_levels=levels_for(sc.n),
+        level_mode="radio", positions=pts, r0=sc.r_tx,
+    )
+    assignment = full_assignment(hier)
+    hop = EuclideanHops(pts, sc.r_tx)
+    rng = np.random.default_rng(sc.seed + 2000)
+    src = rng.integers(0, sc.n, size=BATCH_PROBE_QUERIES)
+    dst = rng.integers(0, sc.n, size=BATCH_PROBE_QUERIES)
+
+    resolver = BatchResolver(hier, assignment, hop)
+    resolver.resolve(src[:8], dst[:8])  # warm the per-level tables
+    t0 = time.perf_counter()
+    batch = resolver.resolve(src, dst)
+    batch_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for s, d in zip(src[:SCALAR_PROBE_QUERIES].tolist(),
+                    dst[:SCALAR_PROBE_QUERIES].tolist()):
+        resolve(hier, assignment, s, d, hop)
+    scalar_s = time.perf_counter() - t0
+
+    per_scalar = scalar_s / SCALAR_PROBE_QUERIES
+    per_batch = batch_s / BATCH_PROBE_QUERIES
+    return {
+        "n": sc.n,
+        "queries": BATCH_PROBE_QUERIES,
+        "batch_seconds": batch_s,
+        "batch_qps": BATCH_PROBE_QUERIES / batch_s,
+        "scalar_us_per_query": per_scalar * 1e6,
+        "batch_us_per_query": per_batch * 1e6,
+        "speedup": per_scalar / per_batch,
+        "hit_fraction": float(np.mean(batch.hit_level >= 0)),
+    }
+
+
+def run(quick: bool = True, seeds=(0, 1), workers: int | None = None,
+        cache_dir=None, report_path=None) -> ExperimentResult:
+    """Run this experiment; returns the printable table (see module docstring).
+
+    ``report_path`` (optional) additionally writes the table rows and
+    the batch-query probe as JSON — CI uploads it as the scaling-report
+    artifact.
+    """
+    ns = (1_000, 3_000, 10_000) if quick else (1_000, 3_000, 10_000, 30_000, 100_000)
+    seeds = list(seeds)
+
+    base = Scenario(n=1_000, steps=3, warmup=2, speed=1.0,
+                    hop_mode="euclidean", incremental_hierarchy=True)
+    scenarios = expand_grid(
+        base, ns, seeds,
+        scenario_for=lambda sc, n: replace(sc, max_levels=levels_for(n)),
+    )
+    results = run_sweep(scenarios, hop_sample_every=10_000,
+                        workers=workers, cache_dir=cache_dir)
+
+    per_n = len(seeds)
+    means, stds = [], []
+    for i in range(len(ns)):
+        chunk = results[i * per_n : (i + 1) * per_n]
+        rates = [res.handoff_rate for res in chunk]
+        means.append(float(np.mean(rates)))
+        stds.append(float(np.std(rates)))
+
+    # Least-squares coefficient for the Eq. (6c) reference curve
+    # c * log^2 n (single free parameter, fitted over the whole grid).
+    x = phi_total_prediction(ns)
+    c = float(np.dot(x, means) / np.dot(x, x))
+    refs = phi_total_prediction(ns, coeff=c)
+
+    result = ExperimentResult(
+        exp_id="EXP-S1",
+        title="Scale study: handoff rate to |V| = 1e5 vs c*log^2|V| (Eq. 6c)",
+        columns=["n", "handoff (pkts/node/s)", "std",
+                 "c*log^2 n", "measured/ref"],
+    )
+    for n, m, s, r in zip(ns, means, stds, refs):
+        result.add_row(n, round(m, 3), round(s, 3), round(float(r), 3),
+                       round(m / float(r), 3))
+
+    spread = (means[-1] / means[0]) / (float(refs[-1]) / float(refs[0]))
+    result.add_note(
+        f"fitted c = {c:.4f}; measured growth over the grid is "
+        f"{spread:.2f}x the log^2 reference's "
+        "(1.0 = perfect Eq. 6c scaling)."
+    )
+
+    probe = _batch_probe(results[(len(ns) - 1) * per_n])
+    result.add_note(
+        f"batch query probe at n={probe['n']}: "
+        f"{probe['batch_qps']:,.0f} queries/s batched "
+        f"({probe['batch_us_per_query']:.1f} us/query vs "
+        f"{probe['scalar_us_per_query']:.0f} us scalar, "
+        f"{probe['speedup']:.0f}x), hit fraction "
+        f"{probe['hit_fraction']:.3f}."
+    )
+
+    if report_path is not None:
+        report = {
+            "exp_id": "EXP-S1",
+            "ns": list(ns),
+            "seeds": seeds,
+            "handoff_rate_mean": means,
+            "handoff_rate_std": stds,
+            "fitted_coeff": c,
+            "reference": [float(r) for r in refs],
+            "batch_probe": probe,
+        }
+        Path(report_path).write_text(json.dumps(report, indent=2) + "\n")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -237,6 +237,11 @@ class DeltaPlane:
         self._build = bool(build)
         self._base_ids = np.arange(self._n, dtype=np.int64)
         self._state: dict[int, _LevelState] = {}
+        # True when the previous advance() never elected level 0 (empty
+        # edge array, first call): state[0] is then stale relative to
+        # the last edge snapshot, and a caller-supplied one-step diff
+        # must not be trusted against it.
+        self._stale0 = True
         self._h: ClusteredHierarchy | None = None
         self._prev_h: ClusteredHierarchy | None = None
         self._delta: HierarchyDelta | None = None
@@ -249,26 +254,43 @@ class DeltaPlane:
     # -- build mode ----------------------------------------------------------
 
     def _level_election(self, k: int, cur_ids: np.ndarray,
-                        cur_edges: np.ndarray) -> Election:
+                        cur_edges: np.ndarray,
+                        diff=None) -> Election:
         """Election at level k: patched when the node set held, rebuilt
-        otherwise, reused outright when nothing changed."""
-        keys = encode_edges(cur_edges, self._n)
+        otherwise, reused outright when nothing changed.
+
+        ``diff`` is an optional pre-computed
+        :class:`~repro.radio.linkevents.LinkDiff` between ``cur_edges``
+        and the edges of the previous call at this level (the Verlet
+        edge cache emits one for free).  When supplied, the two sorted
+        set differences below are skipped — the caller vouches that
+        ``diff`` is exact, which the engine guarantees by passing it
+        only when the cache's output reaches the plane unfiltered.
+        """
         st = self._state.get(k)
         if st is not None and (
             st.ids is cur_ids or np.array_equal(st.ids, cur_ids)
         ):
-            if np.array_equal(st.keys, keys):
-                return st.snapshot
-            ups = decode_edges(
-                np.setdiff1d(keys, st.keys, assume_unique=True), self._n
-            )
-            downs = decode_edges(
-                np.setdiff1d(st.keys, keys, assume_unique=True), self._n
-            )
+            if diff is not None:
+                if diff.n_events == 0:
+                    return st.snapshot
+                ups, downs = diff.ups, diff.downs
+                keys = encode_edges(cur_edges, self._n)
+            else:
+                keys = encode_edges(cur_edges, self._n)
+                if np.array_equal(st.keys, keys):
+                    return st.snapshot
+                ups = decode_edges(
+                    np.setdiff1d(keys, st.keys, assume_unique=True), self._n
+                )
+                downs = decode_edges(
+                    np.setdiff1d(st.keys, keys, assume_unique=True), self._n
+                )
             st.inc.apply(ups, downs)
             st.keys = keys
             st.snapshot = st.inc.snapshot()
             return st.snapshot
+        keys = encode_edges(cur_edges, self._n)
         inc = IncrementalElection(cur_ids, cur_edges)
         snap = inc.snapshot()
         self._state[k] = _LevelState(ids=cur_ids, keys=keys, inc=inc,
@@ -276,10 +298,17 @@ class DeltaPlane:
         return snap
 
     def advance(self, edges: np.ndarray,
-                positions=None) -> ClusteredHierarchy:
+                positions=None, diff=None) -> ClusteredHierarchy:
         """One step: patch the hierarchy onto the new canonical edge
         array (node IDs are ``0..n-1``; edges must be canonical — the
         unit-disk builder's output, chaos-filtered or not).
+
+        ``diff`` is an optional exact level-0
+        :class:`~repro.radio.linkevents.LinkDiff` of ``edges`` against
+        the previous call's (the Verlet cache's by-product); it spares
+        the plane re-deriving the same set differences from edge keys.
+        Pass ``None`` whenever the edges were post-processed (chaos
+        filtering) or the previous step isn't comparable.
         """
         if not self._build:
             raise RuntimeError(
@@ -293,8 +322,11 @@ class DeltaPlane:
             pos = np.asarray(positions, dtype=np.float64)
             if pos.shape[0] != self._n:
                 raise ValueError("positions must align with node ids")
+        if self._stale0:
+            diff = None
         cur_ids = self._base_ids
         levels: list[LevelTopology] = []
+        elected0 = False
         k = 0
         while True:
             at_cap = self._max_levels is not None and k >= self._max_levels
@@ -302,7 +334,10 @@ class DeltaPlane:
                 levels.append(LevelTopology(k, cur_ids, cur_edges,
                                             election=None))
                 break
-            result = self._level_election(k, cur_ids, cur_edges)
+            result = self._level_election(k, cur_ids, cur_edges,
+                                          diff=diff if k == 0 else None)
+            if k == 0:
+                elected0 = True
             heads = result.clusterheads
             if heads.size == cur_ids.size:
                 # No aggregation possible; treat as top.
@@ -325,6 +360,7 @@ class DeltaPlane:
                                            result.member_of)
             cur_ids = heads
             k += 1
+        self._stale0 = not elected0
         h = ClusteredHierarchy(levels)
         self.adopt(h)
         return h

@@ -22,8 +22,16 @@ class SweepReport:
     total: int = 0
     done: int = 0
     cached: int = 0
+    executed: int = 0
+    """Tasks actually simulated this sweep (``done`` minus cache hits)."""
     task_seconds: list[float] = field(default_factory=list)
     """Per-task simulation durations (cache hits excluded)."""
+    ser_seconds: list[float] = field(default_factory=list)
+    """Per-task result-serialization times (worker pack + parent
+    unpack; cache hits excluded, zero for serial in-process runs)."""
+    cache_seconds: float = 0.0
+    """Wall seconds spent loading cache hits (excluded from the
+    execution clock that throughput is computed over)."""
     workers_seen: set = field(default_factory=set)
     retries: int = 0
     """Extra attempts consumed by tasks that eventually succeeded."""
@@ -40,8 +48,12 @@ class SweepReport:
         self.done = p.done
         self.cached = p.cached
         self.sweep_seconds = max(self.sweep_seconds, p.elapsed)
-        if not p.from_cache:
+        if p.from_cache:
+            self.cache_seconds += p.task_seconds
+        else:
+            self.executed += 1
             self.task_seconds.append(p.task_seconds)
+            self.ser_seconds.append(getattr(p, "ser_seconds", 0.0))
             self.retries += max(0, p.attempts - 1)
             if p.worker is not None:
                 self.workers_seen.add(p.worker)
@@ -68,18 +80,41 @@ class SweepReport:
         return sum(ts) / len(ts) if ts else 0.0
 
     @property
+    def mean_ser_seconds(self) -> float:
+        ts = self.ser_seconds
+        return sum(ts) / len(ts) if ts else 0.0
+
+    @property
+    def run_seconds(self) -> float:
+        """Sweep wall time net of cache-hit loading — the clock actual
+        executions ran against."""
+        return max(self.sweep_seconds - self.cache_seconds, 0.0)
+
+    @property
     def throughput_per_min(self) -> float:
-        """Completed tasks per minute of sweep wall time."""
-        if self.sweep_seconds <= 0:
+        """Executed tasks per minute of execution wall time.
+
+        Cache hits count in neither numerator nor denominator: a warm
+        sweep that replays 90 cached tasks and runs 10 reports the
+        throughput of those 10, not a fictitious 10x speedup.
+        """
+        if self.executed <= 0 or self.run_seconds <= 0:
             return 0.0
-        return 60.0 * self.done / self.sweep_seconds
+        return 60.0 * self.executed / self.run_seconds
 
     @property
     def eta_seconds(self) -> float:
-        """Projected seconds to finish the remaining tasks (0 when done)."""
+        """Projected seconds to finish the remaining tasks.
+
+        0 when done; NaN while no task has actually *executed* yet — an
+        all-cache-hits prefix says nothing about how long the pending
+        simulations will take, and the old 0.0 read as "almost done".
+        """
         remaining = self.total - self.done
         if remaining <= 0:
             return 0.0
+        if not self.task_seconds:
+            return float("nan")
         lanes = max(len(self.workers_seen), 1)
         return remaining * self.mean_task_seconds / lanes
 
@@ -208,8 +243,18 @@ class SweepReport:
             f" | {self.mean_task_seconds:.2f} s mean/task"
             f" | {self.throughput_per_min:.1f} tasks/min",
         ]
+        if any(s > 0 for s in self.ser_seconds):
+            total_ser = sum(self.ser_seconds)
+            lines.append(
+                f"transport  {total_ser:.2f} s serializing results"
+                f" ({self.mean_ser_seconds * 1e3:.1f} ms mean/task)"
+            )
         if self.done < self.total:
-            lines.append(f"eta        {self.eta_seconds:.1f} s")
+            eta = self.eta_seconds
+            lines.append(
+                "eta        unknown (no executed task yet)"
+                if eta != eta else f"eta        {eta:.1f} s"
+            )
         if self.workers_seen:
             lines.append(f"workers    {len(self.workers_seen)} distinct")
         if self.retries or self.errors:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.radio.linkevents import LinkDiff
 from repro.radio.unit_disk import unit_disk_edges
 
 __all__ = ["VerletEdgeCache"]
@@ -58,11 +59,33 @@ class VerletEdgeCache:
         self._skin = float(skin)
         self._ref: np.ndarray | None = None
         self._candidates: np.ndarray | None = None
+        self._prev_keep: np.ndarray | None = None
         self.rebuilds = 0
         """Candidate-list (k-d tree) rebuilds so far — the cost driver."""
 
     def edges(self, positions: np.ndarray) -> np.ndarray:
         """Exact canonical unit-disk edges for ``positions``."""
+        return self.edges_with_diff(positions)[0]
+
+    def edges_with_diff(
+        self, positions: np.ndarray
+    ) -> tuple[np.ndarray, LinkDiff | None]:
+        """Edges plus the exact :class:`LinkDiff` against the previous
+        call's output — for free.
+
+        The diff falls out of two boolean masks over one fixed
+        candidate list: an edge appeared iff it is kept now but wasn't
+        last step, and vice versa.  Candidates are canonical
+        (lex-ordered, ``u < v``), so masked subsets come out in the
+        same ascending-key order a sorted set difference of the two
+        edge arrays would produce — consumers patching incremental
+        state from the diff stay bit-identical to re-diffing.
+
+        Returns ``None`` for the diff when there is no comparable
+        previous step (first call, or the candidate list was just
+        rebuilt): a rebuild swaps the mask's index space, so the caller
+        must fall back to its own diffing for that step.
+        """
         pos = np.asarray(positions, dtype=np.float64)
         stale = self._ref is None or pos.shape != self._ref.shape
         if not stale:
@@ -75,10 +98,18 @@ class VerletEdgeCache:
             self._candidates = unit_disk_edges(
                 pos, self._r * (1.0 + self._skin)
             )
+            self._prev_keep = None
             self.rebuilds += 1
         cand = self._candidates
         if cand.shape[0] == 0:
-            return cand
+            return cand, None
         d = pos[cand[:, 0]] - pos[cand[:, 1]]
         keep = d[:, 0] ** 2 + d[:, 1] ** 2 <= self._r * self._r
-        return cand[keep]
+        diff = None
+        if self._prev_keep is not None:
+            diff = LinkDiff(
+                ups=cand[keep & ~self._prev_keep],
+                downs=cand[self._prev_keep & ~keep],
+            )
+        self._prev_keep = keep
+        return cand[keep], diff

@@ -6,12 +6,17 @@
    step's arrivals from the dedicated ``"service"`` RNG stream,
 2. the :class:`~repro.service.queueing.TokenBucket` sheds arrivals past
    the configured admission rate,
-3. a thread pool resolves admitted requests against the live simulator
-   snapshot — CHLM probes via :func:`repro.core.query.resolve` or GLS
+3. admitted requests resolve against the live simulator snapshot
+   through the batch engine — CHLM probes via one per-step
+   :class:`~repro.core.batch_query.BatchResolver` (lossless steps are
+   pure vectorized array ops; lossy steps walk batch-precomputed probe
+   plans on the thread pool with per-request delivery engines) or GLS
    lookups via :meth:`repro.gls.service.GridLocationService.query_cost`
-   — measuring only *wall time*; every simulated quantity (packets,
-   retries) is computed from per-request RNGs seeded at generation
-   time, so results are bit-identical however threads interleave,
+   on the pool — measuring only *wall time*; every simulated quantity
+   (packets, retries) is computed from per-request RNGs seeded at
+   generation time, so results are bit-identical however threads
+   interleave (and identical to the historical per-request scalar
+   path, the oracle `tests/service/test_frontend.py` checks against),
 4. the :class:`~repro.service.queueing.ServiceQueue` converts each
    request's packet count into service time
    (``(1 + packets) * service_hop_time``) and assigns deterministic
@@ -141,23 +146,94 @@ class ServiceFrontend:
     # -- resolution ----------------------------------------------------------------
 
     def _dispatch(self, admitted: list[Request], snap) -> list[tuple[int, str]]:
-        """Resolve every admitted request on the thread pool.
+        """Resolve every admitted request through the batch engine.
 
-        Wall time is metered into the report; the returned
-        ``(packets, outcome)`` pairs are order-preserving and fully
-        deterministic (per-request RNGs, read-only snapshot)."""
+        CHLM requests run through one per-step
+        :class:`~repro.core.batch_query.BatchResolver`: lossless steps
+        are pure array ops (no thread pool at all), lossy steps keep the
+        per-request delivery engines but walk batch-precomputed probe
+        plans on the pool.  GLS keeps the scalar per-request path (its
+        side-car service is stateful).  Wall time is metered into the
+        report; the returned ``(packets, outcome)`` pairs are
+        order-preserving and fully deterministic (per-request RNGs,
+        read-only snapshot)."""
         if not admitted:
             return []
         loss = (self._shared_delivery.loss
                 if self._shared_delivery is not None else None)
         retry = self.sc.retry_policy() if loss is not None else None
 
-        def work(req: Request) -> tuple[int, str]:
-            return self._resolve(req, snap, loss, retry)
-
         t_wall = time.perf_counter()
-        out = list(self._ensure_pool().map(work, admitted))
+        if self.sc.service_scheme == "gls":
+            def work(req: Request) -> tuple[int, str]:
+                return self._resolve(req, snap, loss, retry)
+
+            out = list(self._ensure_pool().map(work, admitted))
+        else:
+            out = self._dispatch_chlm(admitted, snap, loss, retry)
         self._report.wall_seconds += time.perf_counter() - t_wall
+        return out
+
+    def _dispatch_chlm(
+        self, admitted: list[Request], snap, loss, retry
+    ) -> list[tuple[int, str]]:
+        from repro.core.batch_query import BatchResolver
+        from repro.faults import expanding_ring_cost
+
+        sc = self.sc
+        resolver = BatchResolver(snap.hierarchy, snap.assignment,
+                                 snap.hop_fn, hash_fn=sc.hash_fn)
+        upd = [i for i, r in enumerate(admitted) if r.kind == "update"]
+        look = [i for i, r in enumerate(admitted) if r.kind != "update"]
+        targets = np.fromiter((admitted[i].target for i in upd),
+                              dtype=np.int64, count=len(upd))
+        src = np.fromiter((admitted[i].source for i in look),
+                          dtype=np.int64, count=len(look))
+        dst = np.fromiter((admitted[i].target for i in look),
+                          dtype=np.int64, count=len(look))
+        out: list[tuple[int, str] | None] = [None] * len(admitted)
+        if loss is None:
+            ucosts = resolver.update_plans(targets).costs()
+            for j, i in enumerate(upd):
+                out[i] = (int(ucosts[j]), "update")
+            res = resolver.resolve(src, dst)
+            packets = res.packets
+            hit = res.hits
+        else:
+            uplans = resolver.update_plans(targets)
+            lplans = resolver.plans(src, dst)
+            pos = {i: j for j, i in enumerate(upd)}
+            pos.update({i: j for j, i in enumerate(look)})
+
+            def work(i: int):
+                req = admitted[i]
+                delivery = self._delivery_for(req, loss, retry)
+                if req.kind == "update":
+                    return uplans.walk(pos[i], delivery), 0
+                pkts, hit_level, _, _ = lplans.walk(pos[i], delivery)
+                return pkts, hit_level
+
+            walked = list(self._ensure_pool().map(work, range(len(admitted))))
+            for i in upd:
+                out[i] = (walked[i][0], "update")
+            packets = np.fromiter((walked[i][0] for i in look),
+                                  dtype=np.int64, count=len(look))
+            hit = np.fromiter((walked[i][1] >= 0 for i in look),
+                              dtype=bool, count=len(look))
+        misses = np.flatnonzero(~hit)
+        target_hops = np.zeros(len(look), dtype=np.int64)
+        if misses.size:
+            target_hops[misses] = resolver.hops(src[misses], dst[misses])
+        for j, i in enumerate(look):
+            pkts = int(packets[j])
+            if hit[j]:
+                out[i] = (pkts, "direct")
+            elif target_hops[j] > 0:
+                flood = expanding_ring_cost(
+                    int(target_hops[j]), sc.n, sc.density, sc.r_tx)
+                out[i] = (pkts + flood, "fallback")
+            else:
+                out[i] = (pkts, "failed")
         return out
 
     def _delivery_for(self, req: Request, loss, retry):

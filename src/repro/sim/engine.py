@@ -163,7 +163,8 @@ class Simulator:
                 r0=scenario.r_tx if scenario.level_mode == "radio" else None,
                 build=self._maintainer is None,
             )
-            self._edge_cache = VerletEdgeCache(scenario.r_tx)
+            self._edge_cache = VerletEdgeCache(scenario.r_tx,
+                                               skin=scenario.verlet_skin)
         self._engine = HandoffEngine(
             hash_fn=scenario.hash_fn,
             incremental=scenario.incremental_hierarchy,
@@ -238,19 +239,27 @@ class Simulator:
 
     # -- helpers ------------------------------------------------------------------
 
-    def _edges(self, positions: np.ndarray) -> np.ndarray:
+    def _edges(self, positions: np.ndarray):
         """Unit-disk edges (k-d tree, or the bit-identical Verlet cache
         on the incremental path) plus chaos filtering (crashed nodes and
-        partition-severed links removed)."""
+        partition-severed links removed).
+
+        Returns ``(edges, diff)``: the Verlet cache's free one-step
+        :class:`~repro.radio.linkevents.LinkDiff` rides along so the
+        delta plane can skip re-deriving it — dropped (``None``) when
+        chaos filtering rewrites the edge set after the cache.
+        """
+        diff = None
         if self._edge_cache is not None:
-            edges = self._edge_cache.edges(positions)
+            edges, diff = self._edge_cache.edges_with_diff(positions)
         else:
             edges = unit_disk_edges(positions, self.sc.r_tx)
         if self._chaos is not None:
             edges = self._chaos.filter_edges(edges, positions)
-        return edges
+            diff = None
+        return edges, diff
 
-    def _elect(self, positions: np.ndarray, edges: np.ndarray):
+    def _elect(self, positions: np.ndarray, edges: np.ndarray, diff=None):
         """Hierarchy (re-)election on the current topology."""
         if self._maintainer is not None:
             if self.sc.election_mode == "persistent":
@@ -270,6 +279,7 @@ class Simulator:
             return self._delta_plane.advance(
                 edges,
                 positions if self.sc.level_mode == "radio" else None,
+                diff=diff,
             )
         return build_hierarchy(
             np.arange(self.sc.n),
@@ -296,8 +306,8 @@ class Simulator:
         for _ in range(sc.warmup):
             self.model.step(sc.dt)
         positions = self.model.positions.copy()
-        edges = self._edges(positions)
-        hierarchy = self._elect(positions, edges)
+        edges, diff = self._edges(positions)
+        hierarchy = self._elect(positions, edges, diff=diff)
         hop_fn = self._hop_fn(positions, edges)
         self._engine.observe(hierarchy, hop_fn)
         snap = StepSnapshot(
@@ -328,10 +338,10 @@ class Simulator:
         positions = self.model.positions.copy()
         if mark is not None:
             mark("mobility")
-        edges = self._edges(positions)
+        edges, diff0 = self._edges(positions)
         if mark is not None:
             mark("rebuild")
-        hierarchy = self._elect(positions, edges)
+        hierarchy = self._elect(positions, edges, diff=diff0)
         if mark is not None:
             mark("hierarchy")
         # Event-plane phase: distill the two latest snapshots into the

@@ -169,6 +169,16 @@ class Scenario:
         covers plain/lossy/chaos/resume); requires lca clustering and
         the rendezvous hash.  Part of the scenario, so cached sweeps key
         the two pipelines separately.
+    verlet_skin:
+        Candidate-radius inflation factor for the incremental pipeline's
+        Verlet edge cache (ignored otherwise).  Candidates live within
+        ``r_tx * (1 + skin)`` and the k-d tree is rebuilt only after any
+        node drifts ``skin * r_tx / 2`` from its build-time position, so
+        with per-step displacement ``s`` a rebuild amortizes over
+        ``~skin * r_tx / (2 s)`` steps; see docs/PERFORMANCE.md for the
+        arithmetic against the stock speeds.  Must be positive — zero
+        would rebuild every step.  Output is bit-identical for every
+        valid value; only rebuild frequency (and thus speed) changes.
     seed:
         Root seed for all randomness.
     """
@@ -214,6 +224,7 @@ class Scenario:
     slo_window: int = 3
     hop_sample_every: int = 25
     incremental_hierarchy: bool = False
+    verlet_skin: float = 0.5
     seed: int = 0
 
     # Numeric fields screened for NaN/inf before any range check runs
@@ -226,6 +237,7 @@ class Scenario:
         "admission_rate", "service_workers", "service_queue_capacity",
         "service_hop_time", "service_update_fraction",
         "slo_success_threshold", "slo_window", "hop_sample_every",
+        "verlet_skin",
     )
 
     def __post_init__(self):
@@ -271,6 +283,12 @@ class Scenario:
             raise ValueError("persistent clusters require radio level_mode")
         if self.detour < 1.0:
             raise ValueError("detour factor must be >= 1")
+        if self.verlet_skin <= 0:
+            raise ValueError(
+                f"verlet_skin must be positive, got {self.verlet_skin!r} "
+                "(0 would rebuild the candidate tree every step; disable "
+                "incremental_hierarchy instead)"
+            )
         if self.failure_rate < 0:
             raise ValueError("failure rate must be non-negative")
         if self.repair_time <= 0:

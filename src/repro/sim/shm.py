@@ -1,0 +1,318 @@
+"""Zero-copy shared-memory transport for sweep results.
+
+Parallel sweeps ship one ``SimResult`` per task from worker to parent.
+The default transport pickles the whole object through the executor's
+result pipe, which copies every trajectory/series array twice (worker
+serialize, parent deserialize).  At 10^5 nodes a single result carries
+tens of megabytes of ndarrays and the pipe becomes the bottleneck.
+
+This module provides the alternative: workers pack each result with
+:func:`pack_result`, which pickles the object normally but intercepts
+every large C-contiguous ndarray (``persistent_id`` hook) and writes
+its bytes into ONE ``multiprocessing.shared_memory`` segment instead.
+Only the small pickle skeleton plus ``(segment, specs)`` metadata
+crosses the pipe; the parent maps the segment, restores the arrays
+with :func:`unpack_result`, and unlinks it.
+
+POSIX details handled here:
+
+* Segment lifetime is explicit: exactly one process unlinks each
+  segment (the parent after unpack, or the orphan sweep).  CPython's
+  ``resource_tracker`` keeps a *set* of names shared across forked
+  workers, and ``unlink()`` unregisters — so one unlink per name
+  leaves the tracker clean with no double-free warnings.
+* A worker killed between ``pack_result`` and the parent's unlink
+  leaks its segment.  Segments carry a per-sweep prefix so
+  :func:`cleanup_segments` can sweep ``/dev/shm`` for orphans in the
+  sweep's ``finally`` block.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import io
+import os
+import pickle
+import secrets
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "ARRAY_THRESHOLD",
+    "SHM_PREFIX",
+    "ShmPayload",
+    "SharedArrayPool",
+    "cleanup_segments",
+    "pack_result",
+    "shm_available",
+    "sweep_prefix",
+    "unpack_result",
+]
+
+# Arrays below this many bytes ride the ordinary pickle; the shm
+# segment + mmap round trip only pays for itself on big blocks.
+ARRAY_THRESHOLD = 1 << 16
+
+# Namespace for every segment this package creates; cleanup scans are
+# restricted to it so unrelated /dev/shm entries are never touched.
+SHM_PREFIX = "repro_sweep"
+
+
+def shm_available() -> bool:
+    """True when POSIX shared memory actually works on this host.
+
+    Probes once per process by creating and unlinking a tiny segment
+    (containers sometimes mount /dev/shm noexec/ro or drop it).
+    """
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            seg = shared_memory.SharedMemory(create=True, size=16)
+            seg.close()
+            seg.unlink()
+            _AVAILABLE = True
+        except Exception:
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+_AVAILABLE: bool | None = None
+
+
+def sweep_prefix() -> str:
+    """A fresh per-sweep segment namespace, e.g.
+    ``repro_sweep_3f2a90_1234``; unique so concurrent sweeps (and
+    stale orphans from crashed ones) never collide."""
+    return f"{SHM_PREFIX}_{secrets.token_hex(3)}_{os.getpid() % 100000}"
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    """Where one ndarray lives inside a segment."""
+
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+    nbytes: int
+
+
+@dataclass
+class ShmPayload:
+    """The cross-pipe stand-in for a packed result: the pickle
+    skeleton plus the shm segment holding the extracted arrays."""
+
+    segment: str
+    skeleton: bytes
+    specs: tuple[_ArraySpec, ...]
+    total_bytes: int
+
+
+@dataclass
+class SharedArrayPool:
+    """Publish/attach named groups of ndarrays through one shared
+    segment each.
+
+    ``publish`` copies the arrays into a fresh segment and returns its
+    name; ``attach`` maps them back as zero-copy views (valid while
+    the pool stays open).  ``close`` releases every mapping and
+    unlinks every segment this pool created.
+    """
+
+    prefix: str = field(default_factory=sweep_prefix)
+    _seq: int = 0
+    _open: dict = field(default_factory=dict)
+    _created: list = field(default_factory=list)
+
+    def publish(self, arrays: dict[str, np.ndarray]) -> tuple[str, dict]:
+        """Write ``arrays`` into a new segment; returns
+        ``(segment_name, specs)`` to hand to :meth:`attach`."""
+        from multiprocessing import shared_memory
+
+        items = [(k, np.ascontiguousarray(v)) for k, v in arrays.items()]
+        total = sum(a.nbytes for _, a in items)
+        name = f"{self.prefix}_{self._seq}"
+        self._seq += 1
+        seg = shared_memory.SharedMemory(
+            create=True, size=max(total, 1), name=name
+        )
+        specs = {}
+        offset = 0
+        for key, arr in items:
+            if arr.nbytes:
+                seg.buf[offset:offset + arr.nbytes] = arr.tobytes()
+            specs[key] = _ArraySpec(
+                str(arr.dtype), tuple(arr.shape), offset, arr.nbytes
+            )
+            offset += arr.nbytes
+        self._open[name] = seg
+        self._created.append(name)
+        return name, specs
+
+    def attach(self, name: str, specs: dict) -> dict[str, np.ndarray]:
+        """Map ``name`` and return zero-copy views per ``specs``; the
+        views stay valid until :meth:`close`."""
+        from multiprocessing import shared_memory
+
+        seg = self._open.get(name)
+        if seg is None:
+            seg = shared_memory.SharedMemory(name=name)
+            self._open[name] = seg
+        out = {}
+        for key, spec in specs.items():
+            view = np.frombuffer(
+                seg.buf, dtype=np.dtype(spec.dtype),
+                count=spec.nbytes // max(np.dtype(spec.dtype).itemsize, 1),
+                offset=spec.offset,
+            )
+            out[key] = view.reshape(spec.shape)
+        return out
+
+    def close(self) -> None:
+        """Release every mapping; unlink every segment we created."""
+        for name, seg in list(self._open.items()):
+            try:
+                seg.close()
+            except Exception:
+                pass
+            if name in self._created:
+                try:
+                    seg.unlink()
+                except Exception:
+                    pass
+        self._open.clear()
+        self._created.clear()
+
+
+class _ArrayPickler(pickle.Pickler):
+    """Pickler that diverts big contiguous ndarrays out of the stream,
+    recording them for segment placement.
+
+    Uses ``reducer_override`` (not ``persistent_id``) so each array's
+    *dtype object* still travels through the pickle stream: numpy's
+    native dtypes are singletons, and keeping them in-stream preserves
+    the pickle memo sharing between extracted and in-skeleton arrays.
+    The restored object therefore re-pickles to byte-identical output
+    whether it crossed the pipe as plain pickle or through shm — which
+    is what keeps sweep cache files transport-independent.
+    """
+
+    def __init__(self, buf, threshold: int):
+        super().__init__(buf, protocol=pickle.HIGHEST_PROTOCOL)
+        self.threshold = threshold
+        self.arrays: list[np.ndarray] = []
+
+    def reducer_override(self, obj):
+        if (
+            type(obj) is np.ndarray
+            and obj.nbytes >= self.threshold
+            and obj.flags["C_CONTIGUOUS"]
+            and obj.dtype != object
+        ):
+            self.arrays.append(obj)
+            return (
+                _from_segment,
+                (len(self.arrays) - 1, obj.dtype, obj.shape),
+            )
+        return NotImplemented
+
+
+_UNPACK_ARRAYS: "contextvars.ContextVar[list[bytes]]" = (
+    contextvars.ContextVar("repro_shm_unpack_arrays")
+)
+
+
+def _from_segment(index: int, dtype, shape) -> np.ndarray:
+    """Unpickle-side constructor for an extracted array: reads the raw
+    bytes staged by :func:`unpack_result` and rebuilds an owned,
+    writable ndarray (``frombuffer`` on bytes is read-only)."""
+    raw = _UNPACK_ARRAYS.get()[index]
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+
+def pack_result(obj, prefix: str, threshold: int = ARRAY_THRESHOLD):
+    """Serialize ``obj`` with its large ndarrays placed in one shared
+    segment.  Returns a :class:`ShmPayload`, or the plain pickled
+    bytes when nothing crossed the threshold (no segment created) or
+    segment creation failed (graceful pipe fallback)."""
+    from multiprocessing import shared_memory
+
+    buf = io.BytesIO()
+    pickler = _ArrayPickler(buf, threshold)
+    pickler.dump(obj)
+    skeleton = buf.getvalue()
+    if not pickler.arrays:
+        return skeleton
+    total = sum(a.nbytes for a in pickler.arrays)
+    name = f"{prefix}_{os.getpid()}_{secrets.token_hex(2)}"
+    try:
+        seg = shared_memory.SharedMemory(create=True, size=total, name=name)
+    except Exception:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    specs = []
+    offset = 0
+    for arr in pickler.arrays:
+        seg.buf[offset:offset + arr.nbytes] = arr.tobytes()
+        specs.append(
+            _ArraySpec(str(arr.dtype), tuple(arr.shape), offset, arr.nbytes)
+        )
+        offset += arr.nbytes
+    seg.close()
+    return ShmPayload(
+        segment=name, skeleton=skeleton, specs=tuple(specs),
+        total_bytes=total,
+    )
+
+
+def unpack_result(payload):
+    """Restore an object shipped by :func:`pack_result`.  Accepts the
+    plain-bytes fallback too.  Copies the arrays out of the segment,
+    then closes and unlinks it — the returned object owns its data."""
+    if isinstance(payload, (bytes, bytearray)):
+        return pickle.loads(payload)
+    from multiprocessing import shared_memory
+
+    seg = shared_memory.SharedMemory(name=payload.segment)
+    try:
+        # bytes() copies out of the mmap so no exported pointers
+        # survive into close(); _from_segment then builds each array
+        # from its slice during the skeleton unpickle below.
+        raws = [
+            bytes(seg.buf[spec.offset:spec.offset + spec.nbytes])
+            for spec in payload.specs
+        ]
+        token = _UNPACK_ARRAYS.set(raws)
+        try:
+            return pickle.loads(payload.skeleton)
+        finally:
+            _UNPACK_ARRAYS.reset(token)
+    finally:
+        seg.close()
+        try:
+            seg.unlink()
+        except Exception:
+            pass
+
+
+def cleanup_segments(prefix: str) -> int:
+    """Unlink every leftover ``/dev/shm`` segment under ``prefix``
+    (workers killed mid-flight leak theirs); returns the count."""
+    from multiprocessing import shared_memory
+
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return 0
+    removed = 0
+    for entry in os.listdir(shm_dir):
+        if not entry.startswith(prefix):
+            continue
+        try:
+            seg = shared_memory.SharedMemory(name=entry)
+            seg.close()
+            seg.unlink()
+            removed += 1
+        except Exception:
+            pass
+    return removed

@@ -26,6 +26,15 @@ production scale:
   finished simulations; bump ``CODE_VERSION`` whenever simulator
   semantics change so stale artifacts can never be replayed.
 
+* **Zero-copy result transport**: parallel workers ship each
+  ``SimResult`` back through :mod:`repro.sim.shm` — the big trajectory
+  and series arrays go into one POSIX shared-memory segment per result
+  and only a small pickle skeleton crosses the executor pipe.  Enabled
+  automatically for parallel sweeps when ``/dev/shm`` works (force with
+  ``shm=True/False`` or ``REPRO_SWEEP_SHM=1/0``); both transports are
+  byte-identical in what they deliver and cache, and both meter their
+  serialization cost into ``SweepProgress.ser_seconds``.
+
 Caching is opt-in (``cache_dir=...`` or ``REPRO_SWEEP_CACHE=1`` for the
 default location) so tests and one-off runs stay side-effect free.
 Workers default to serial in-process execution unless
@@ -216,6 +225,11 @@ class SweepProgress:
     hits and in-process serial runs)."""
     attempts: int = 1
     """Attempts this task consumed before succeeding (>1 after retries)."""
+    ser_seconds: float = 0.0
+    """Wall seconds spent serializing this task's result across the
+    process boundary (worker-side pack + parent-side unpack).  Zero for
+    cache hits and in-process serial runs, where nothing crosses a
+    pipe."""
 
 
 def print_progress(p: SweepProgress) -> None:
@@ -280,27 +294,41 @@ class SweepError(RuntimeError):
 @dataclass(frozen=True)
 class _TaskOutcome:
     """A worker's result plus its telemetry (never cached or returned:
-    :func:`run_sweep_detailed` unwraps it before storing)."""
+    :func:`run_sweep_detailed` unwraps it before storing).
 
-    result: SimResult
+    With a transport in play, ``result`` is ``None`` and ``packed``
+    carries the serialized form (shm payload or pickle bytes) for the
+    parent to restore; ``ser_seconds`` holds the worker-side pack time
+    (the parent adds its unpack time before reporting).
+    """
+
+    result: SimResult | None
     seconds: float
     worker: int
+    ser_seconds: float = 0.0
+    packed: object = None
 
 
 def _run_task(args: tuple) -> _TaskOutcome:
     """Worker: one simulation (module-level so it pickles).
 
     The payload is ``(scenario, hop_sample_every, profile, ckpt_path,
-    ckpt_every)``.  With a checkpoint path, the worker first tries to
-    resume from it — so a task whose previous attempt crashed or timed
-    out restarts from its last checkpoint instead of from scratch.  Any
-    load failure (missing file, corrupt bytes, version mismatch, wrong
-    scenario) falls back to a fresh run; the checkpoint file is removed
-    once the run completes.
+    ckpt_every, transport)``.  With a checkpoint path, the worker first
+    tries to resume from it — so a task whose previous attempt crashed
+    or timed out restarts from its last checkpoint instead of from
+    scratch.  Any load failure (missing file, corrupt bytes, version
+    mismatch, wrong scenario) falls back to a fresh run; the checkpoint
+    file is removed once the run completes.
+
+    ``transport`` shapes the return trip: ``None`` ships the result
+    object straight through the executor (serial mode); ``"pickle"``
+    pre-pickles it (metering the cost); ``"shm:<prefix>"`` packs it via
+    :func:`repro.sim.shm.pack_result`, which silently degrades to
+    pickle bytes if segment creation fails in this worker.
     """
     from repro.sim.engine import Simulator
 
-    scenario, hop_sample_every, profile, ckpt_path, ckpt_every = args
+    scenario, hop_sample_every, profile, ckpt_path, ckpt_every, transport = args
     t0 = time.perf_counter()
     sim = None
     if ckpt_path is not None:
@@ -322,8 +350,20 @@ def _run_task(args: tuple) -> _TaskOutcome:
             pass
     else:
         res = sim.run()
-    return _TaskOutcome(result=res, seconds=time.perf_counter() - t0,
-                        worker=os.getpid())
+    seconds = time.perf_counter() - t0
+    if transport is None:
+        return _TaskOutcome(result=res, seconds=seconds, worker=os.getpid())
+    t_ser = time.perf_counter()
+    if transport.startswith("shm:"):
+        from repro.sim.shm import pack_result
+
+        packed = pack_result(res, transport[4:])
+    else:
+        packed = pickle.dumps(res, protocol=pickle.HIGHEST_PROTOCOL)
+    return _TaskOutcome(
+        result=None, seconds=seconds, worker=os.getpid(),
+        ser_seconds=time.perf_counter() - t_ser, packed=packed,
+    )
 
 
 def _resolve_workers(workers: int | None, n_tasks: int) -> int:
@@ -332,6 +372,28 @@ def _resolve_workers(workers: int | None, n_tasks: int) -> int:
     if workers <= 1:
         return 0
     return min(workers, n_tasks)
+
+
+def _resolve_shm(shm: bool | None, n_workers: int) -> bool:
+    """Decide the result transport for this sweep.
+
+    Explicit ``shm=`` wins; otherwise ``REPRO_SWEEP_SHM`` (``0``/empty
+    disables); otherwise auto — on for parallel sweeps.  Regardless of
+    the request, shm only engages when the sweep is actually parallel
+    (serial results never cross a pipe) and the host's POSIX shared
+    memory passes the availability probe.
+    """
+    if shm is None:
+        env = os.environ.get("REPRO_SWEEP_SHM")
+        if env is not None:
+            shm = env.strip().lower() not in ("", "0", "false", "no")
+        else:
+            shm = True
+    if not shm or n_workers == 0:
+        return False
+    from repro.sim.shm import shm_available
+
+    return shm_available()
 
 
 def _serial_round(fn, tasks: dict, on_result) -> dict[int, tuple[str, str]]:
@@ -486,6 +548,7 @@ def run_sweep_detailed(
     profile: bool = False,
     checkpoint_dir: str | Path | None = None,
     checkpoint_every: int | None = None,
+    shm: bool | None = None,
 ) -> SweepRun:
     """Run every scenario fault-tolerantly; never raises on task failure.
 
@@ -532,6 +595,16 @@ def run_sweep_detailed(
     checkpoint_every:
         Checkpoint cadence in metered steps (default 25 when
         ``checkpoint_dir`` is set; ignored otherwise).
+    shm:
+        Result transport for parallel sweeps.  ``True`` ships each
+        result's large arrays through a POSIX shared-memory segment
+        (:mod:`repro.sim.shm`) instead of the executor pipe; ``False``
+        forces plain pickling; ``None`` (default) reads
+        ``REPRO_SWEEP_SHM``, else auto-enables when the sweep is
+        parallel and shared memory is available.  Results are
+        byte-identical either way — only ``SweepProgress.ser_seconds``
+        (and wall time) differ.  Orphaned segments from killed workers
+        are swept from ``/dev/shm`` when the sweep ends.
 
     Returns
     -------
@@ -584,9 +657,16 @@ def run_sweep_detailed(
 
     def _finish(i: int, out: _TaskOutcome, attempts: int) -> None:
         nonlocal done
-        results[i] = out.result
+        res, ser = out.result, out.ser_seconds
+        if out.packed is not None:
+            from repro.sim.shm import unpack_result
+
+            t_ser = time.perf_counter()
+            res = unpack_result(out.packed)
+            ser += time.perf_counter() - t_ser
+        results[i] = res
         if cache is not None:
-            _cache_store(_key_path(scenarios[i]), out.result)
+            _cache_store(_key_path(scenarios[i]), res)
         done += 1
         if progress is not None:
             progress(SweepProgress(
@@ -595,22 +675,41 @@ def run_sweep_detailed(
                 task_seconds=out.seconds,
                 worker=out.worker if out.worker != os.getpid() else None,
                 attempts=attempts,
+                ser_seconds=ser,
             ))
 
     n_workers = _resolve_workers(workers, len(pending))
-    failures = _execute(
-        _run_task,
-        {
-            i: (scenarios[i], hop_sample_every, profile,
-                _ckpt_path(scenarios[i]), checkpoint_every)
-            for i in pending
-        },
-        workers=n_workers,
-        task_timeout=task_timeout,
-        task_retries=task_retries,
-        retry_backoff=retry_backoff,
-        on_result=_finish,
-    )
+    transport = None
+    shm_prefix = None
+    if n_workers > 0:
+        if _resolve_shm(shm, n_workers):
+            from repro.sim.shm import sweep_prefix
+
+            shm_prefix = sweep_prefix()
+            transport = f"shm:{shm_prefix}"
+        else:
+            transport = "pickle"
+    try:
+        failures = _execute(
+            _run_task,
+            {
+                i: (scenarios[i], hop_sample_every, profile,
+                    _ckpt_path(scenarios[i]), checkpoint_every, transport)
+                for i in pending
+            },
+            workers=n_workers,
+            task_timeout=task_timeout,
+            task_retries=task_retries,
+            retry_backoff=retry_backoff,
+            on_result=_finish,
+        )
+    finally:
+        if shm_prefix is not None:
+            # Workers killed mid-flight (crash, timeout, Ctrl-C) leak
+            # the segments they had already published; reap them.
+            from repro.sim.shm import cleanup_segments
+
+            cleanup_segments(shm_prefix)
     errors = [
         TaskError(index=i, kind=kind, message=message, attempts=attempts,
                   scenario=scenarios[i])
@@ -633,6 +732,7 @@ def run_sweep(
     profile: bool = False,
     checkpoint_dir: str | Path | None = None,
     checkpoint_every: int | None = None,
+    shm: bool | None = None,
 ) -> list[SimResult]:
     """Run every scenario; return results in input order.
 
@@ -657,6 +757,7 @@ def run_sweep(
         profile=profile,
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every,
+        shm=shm,
     )
     if run.errors and on_error == "raise":
         raise SweepError(run)
@@ -679,6 +780,7 @@ def cached_sweep(
     profile: bool = False,
     checkpoint_dir: str | Path | None = None,
     checkpoint_every: int | None = None,
+    shm: bool | None = None,
 ) -> list["SweepPoint"]:
     """Drop-in :func:`repro.analysis.scaling.sweep` on the sweep runner.
 
@@ -712,6 +814,7 @@ def cached_sweep(
         profile=profile,
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every,
+        shm=shm,
     )
     points = []
     per_n = len(seeds)

@@ -53,6 +53,7 @@ class TestRegistry:
             {f"EXP-F{i}" for i in range(1, 4)}
             | {f"EXP-T{i}" for i in range(1, 11)}
             | {f"EXP-A{i}" for i in range(1, 13)}
+            | {"EXP-S1"}
         )
         assert set(ALL_EXPERIMENTS) == expected
         assert all(callable(fn) for fn in ALL_EXPERIMENTS.values())

@@ -203,3 +203,56 @@ class TestModesAndValidation:
         plane = DeltaPlane(10, level_mode="radio", r0=1.0)
         with pytest.raises(ValueError, match="positions"):
             plane.advance(np.array([[0, 1]], dtype=np.int64))
+
+
+class TestSuppliedLinkDiff:
+    """advance(diff=...) with the Verlet cache's free diff must produce
+    the same hierarchy as re-deriving the diff from edge keys."""
+
+    @pytest.mark.parametrize("seed", [0, 4])
+    def test_diff_fed_plane_bit_identical(self, seed):
+        from repro.radio import VerletEdgeCache
+
+        n = 110
+        rng = np.random.default_rng(seed)
+        pts = disc_for_density(n, DENSITY).sample(n, rng)
+        cache = VerletEdgeCache(R_TX)
+        with_diff = DeltaPlane(n, max_levels=3, r0=R_TX)
+        without = DeltaPlane(n, max_levels=3, r0=R_TX)
+        fed = 0
+        for _ in range(20):
+            edges, diff = cache.edges_with_diff(pts)
+            ha = with_diff.advance(edges, pts, diff=diff)
+            hb = without.advance(edges, pts)
+            assert_hierarchies_identical(ha, hb)
+            href = build_hierarchy(np.arange(n), edges, max_levels=3,
+                                   level_mode="radio", positions=pts,
+                                   r0=R_TX)
+            assert_hierarchies_identical(ha, href)
+            if diff is not None and diff.n_events:
+                fed += 1
+            pts = pts + rng.normal(scale=0.4, size=pts.shape)
+        assert fed > 5  # the diff path actually ran
+
+    def test_stale_level0_ignores_supplied_diff(self):
+        """If a step never elects level 0 (empty edge array), the next
+        step's one-step diff is against the wrong baseline and must be
+        dropped rather than applied."""
+        n = 40
+        rng = np.random.default_rng(2)
+        pts = disc_for_density(n, DENSITY).sample(n, rng)
+        edges = unit_disk_edges(pts, R_TX)
+        plane = DeltaPlane(n, max_levels=2, r0=R_TX)
+        plane.advance(edges, pts)
+        # Empty step: level 0 never elects, state[0] goes stale.
+        empty = np.empty((0, 2), dtype=np.int64)
+        plane.advance(empty, pts)
+        # Supply a bogus "diff" (old edges as ups): a correct plane
+        # ignores it and rebuilds from the real edge array.
+        from repro.radio.linkevents import LinkDiff
+
+        bogus = LinkDiff(ups=edges[:1], downs=np.empty((0, 2), np.int64))
+        h = plane.advance(edges, pts, diff=bogus)
+        href = build_hierarchy(np.arange(n), edges, max_levels=2,
+                               level_mode="radio", positions=pts, r0=R_TX)
+        assert_hierarchies_identical(h, href)

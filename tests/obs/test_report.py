@@ -16,11 +16,11 @@ BASE = Scenario(n=60, steps=4, warmup=1, speed=1.5, hop_mode="euclidean",
 
 
 def _event(done, total, *, cached=0, from_cache=False, elapsed=1.0,
-           task_seconds=0.5, worker=None, attempts=1):
+           task_seconds=0.5, worker=None, attempts=1, ser_seconds=0.0):
     return SweepProgress(
         done=done, total=total, cached=cached, scenario=BASE,
         elapsed=elapsed, from_cache=from_cache, task_seconds=task_seconds,
-        worker=worker, attempts=attempts,
+        worker=worker, attempts=attempts, ser_seconds=ser_seconds,
     )
 
 
@@ -72,6 +72,43 @@ class TestSyntheticAggregation:
         rep = SweepReport()
         rep(_event(1, 1))
         assert rep.done == rep.total == 1
+
+    def test_cache_hits_excluded_from_throughput(self):
+        """A warm sweep replaying 3 cached tasks and executing 1 must
+        report the throughput of that 1, not a 4-task fiction."""
+        rep = SweepReport()
+        for i in range(1, 4):
+            rep.record(_event(i, 4, cached=i, from_cache=True,
+                              elapsed=float(i), task_seconds=1.0))
+        rep.record(_event(4, 4, cached=3, elapsed=33.0, task_seconds=30.0))
+        assert rep.executed == 1
+        # 33 s wall minus 3 s of cache loading = 30 s execution clock.
+        assert rep.run_seconds == pytest.approx(30.0)
+        assert rep.throughput_per_min == pytest.approx(2.0)
+
+    def test_eta_unknown_until_a_task_executes(self):
+        """An all-cache-hits prefix predicts nothing about pending
+        simulations: eta must read unknown (NaN), not 0."""
+        rep = SweepReport()
+        rep.record(_event(1, 3, cached=1, from_cache=True, task_seconds=0.1))
+        assert rep.eta_seconds != rep.eta_seconds  # NaN
+        assert "eta        unknown" in rep.render()
+        rep.record(_event(2, 3, cached=1, task_seconds=12.0))
+        assert rep.eta_seconds == pytest.approx(12.0)
+        assert "eta        12.0 s" in rep.render()
+
+    def test_serialization_stats(self):
+        rep = SweepReport()
+        rep.record(_event(1, 2, task_seconds=5.0, ser_seconds=0.25))
+        rep.record(_event(2, 2, cached=1, from_cache=True, task_seconds=0.1))
+        assert rep.ser_seconds == [0.25]
+        assert rep.mean_ser_seconds == pytest.approx(0.25)
+        assert "transport  0.25 s serializing results" in rep.render()
+
+    def test_no_transport_line_for_serial_sweeps(self):
+        rep = SweepReport()
+        rep.record(_event(1, 1, task_seconds=5.0))
+        assert "transport" not in rep.render()
 
 
 class TestRealSweep:

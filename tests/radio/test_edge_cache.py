@@ -79,3 +79,64 @@ class TestValidation:
         pts = np.array([[0.0, 0.0], [100.0 * R_TX, 0.0]])
         cache = VerletEdgeCache(R_TX)
         assert cache.edges(pts).shape == (0, 2)
+
+
+class TestLinkDiffEmission:
+    """edges_with_diff must report exactly the sorted set differences a
+    re-diff of consecutive edge arrays would produce — in the same
+    (ascending encoded-key) order — and None across rebuilds."""
+
+    @staticmethod
+    def _setdiff_oracle(prev, cur, n):
+        from repro.radio.unit_disk import decode_edges, encode_edges
+
+        pk, ck = encode_edges(prev, n), encode_edges(cur, n)
+        ups = decode_edges(np.setdiff1d(ck, pk, assume_unique=True), n)
+        downs = decode_edges(np.setdiff1d(pk, ck, assume_unique=True), n)
+        return ups, downs
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_diff_matches_setdiff_oracle(self, seed):
+        n = 100
+        rng = np.random.default_rng(seed)
+        pts = disc_for_density(n, DENSITY).sample(n, rng)
+        cache = VerletEdgeCache(R_TX)
+        prev = None
+        rebuilds = 0
+        diffs_checked = 0
+        for _ in range(25):
+            before = cache.rebuilds
+            edges, diff = cache.edges_with_diff(pts)
+            if cache.rebuilds > before:
+                rebuilds += 1
+                assert diff is None
+            elif diff is not None:
+                ups, downs = self._setdiff_oracle(prev, edges, n)
+                assert np.array_equal(diff.ups, ups)
+                assert np.array_equal(diff.downs, downs)
+                diffs_checked += 1
+            prev = edges
+            pts = pts + rng.normal(scale=0.4, size=pts.shape)
+        assert diffs_checked > 5  # the fuzz actually exercised the path
+
+    def test_static_positions_emit_empty_diff(self):
+        rng = np.random.default_rng(1)
+        pts = disc_for_density(60, DENSITY).sample(60, rng)
+        cache = VerletEdgeCache(R_TX)
+        assert cache.edges_with_diff(pts)[1] is None  # first call
+        _, diff = cache.edges_with_diff(pts)
+        assert diff is not None and diff.n_events == 0
+
+    def test_edges_and_edges_with_diff_interleave(self):
+        """edges() is a view over the same state machine, so mixing the
+        two entry points keeps diffs consistent."""
+        rng = np.random.default_rng(5)
+        pts = disc_for_density(60, DENSITY).sample(60, rng)
+        cache = VerletEdgeCache(R_TX)
+        e0 = cache.edges(pts)
+        pts2 = pts + rng.normal(scale=0.2, size=pts.shape)
+        e1, diff = cache.edges_with_diff(pts2)
+        if diff is not None:
+            ups, downs = self._setdiff_oracle(e0, e1, 60)
+            assert np.array_equal(diff.ups, ups)
+            assert np.array_equal(diff.downs, downs)

@@ -140,10 +140,10 @@ class TestStaleCheckpointRejection:
 class TestSweepCheckpointing:
     def test_run_task_falls_back_on_corrupt_checkpoint(self, tmp_path):
         sc = _scenario(steps=6)
-        baseline = _run_task((sc, None, False, None, None))
+        baseline = _run_task((sc, None, False, None, None, None))
         bad = tmp_path / "task.ckpt"
         bad.write_bytes(b"\x80\x04 not a checkpoint")
-        out = _run_task((sc, None, False, str(bad), 3))
+        out = _run_task((sc, None, False, str(bad), 3, None))
         _assert_same_result(baseline.result, out.result)
         # Completed task cleans up its checkpoint.
         assert not bad.exists()
@@ -153,8 +153,8 @@ class TestSweepCheckpointing:
         sc_b = _scenario(steps=6, seed=2)
         path = tmp_path / "mismatch.ckpt"
         Simulator(sc_a).run(checkpoint_every=2, checkpoint_path=str(path))
-        baseline = _run_task((sc_b, None, False, None, None))
-        out = _run_task((sc_b, None, False, str(path), 2))
+        baseline = _run_task((sc_b, None, False, None, None, None))
+        out = _run_task((sc_b, None, False, str(path), 2, None))
         _assert_same_result(baseline.result, out.result)
 
     def test_sweep_with_checkpoint_dir_matches_plain(self, tmp_path):

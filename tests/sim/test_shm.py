@@ -1,0 +1,159 @@
+"""Shared-memory result transport: pack/unpack fidelity, sweep
+integration (byte-identical caches vs pickling), and orphan reaping
+after worker death."""
+
+import hashlib
+import os
+import pickle
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.sim import Scenario, expand_grid, run_sweep
+from repro.sim.shm import (
+    SharedArrayPool,
+    ShmPayload,
+    cleanup_segments,
+    pack_result,
+    shm_available,
+    sweep_prefix,
+    unpack_result,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+BASE = Scenario(n=60, steps=5, warmup=1, speed=1.5, hop_mode="euclidean",
+                max_levels=2)
+
+
+def _shm_entries(prefix: str) -> list[str]:
+    return [e for e in os.listdir("/dev/shm") if e.startswith(prefix)]
+
+
+class TestPackUnpack:
+    def test_roundtrip_bit_identical(self):
+        obj = {
+            "big": np.arange(50_000, dtype=np.float64).reshape(500, 100),
+            "ints": np.arange(30_000, dtype=np.int64),
+            "small": np.arange(7),
+            "meta": ("hello", 3.5, [1, 2]),
+        }
+        prefix = sweep_prefix()
+        payload = pack_result(obj, prefix)
+        assert isinstance(payload, ShmPayload)
+        back = unpack_result(payload)
+        assert pickle.dumps(back) == pickle.dumps(obj)
+        # The segment was unlinked by unpack; nothing left behind.
+        assert not _shm_entries(prefix)
+
+    def test_unpacked_arrays_are_writable_and_owned(self):
+        obj = np.ones(20_000)
+        payload = pack_result(obj, sweep_prefix())
+        back = unpack_result(payload)
+        back[0] = 7.0  # would raise on a read-only frombuffer view
+        assert back.flags["OWNDATA"] or back.base is not None
+
+    def test_small_objects_skip_the_segment(self):
+        prefix = sweep_prefix()
+        payload = pack_result({"x": np.arange(4), "y": 1}, prefix)
+        assert isinstance(payload, bytes)
+        assert not _shm_entries(prefix)
+        back = unpack_result(payload)
+        assert back["y"] == 1 and np.array_equal(back["x"], np.arange(4))
+
+    def test_sim_result_roundtrip(self):
+        from repro.sim.engine import run_scenario
+
+        res = run_scenario(BASE)
+        payload = pack_result(res, sweep_prefix(), threshold=64)
+        back = unpack_result(payload)
+        assert pickle.dumps(back) == pickle.dumps(res)
+
+    def test_pool_publish_attach(self):
+        pool = SharedArrayPool()
+        arrays = {"u": np.arange(10), "v": np.ones((3, 4))}
+        name, specs = pool.publish(arrays)
+        reader = SharedArrayPool()
+        views = reader.attach(name, specs)
+        assert np.array_equal(views["u"], arrays["u"])
+        assert np.array_equal(views["v"], arrays["v"])
+        del views
+        reader.close()
+        pool.close()
+        assert not _shm_entries(pool.prefix)
+
+
+class TestSweepTransport:
+    def _cache_digest(self, cache_dir) -> str:
+        h = hashlib.sha256()
+        for p in sorted(cache_dir.glob("*.pkl")):
+            h.update(p.read_bytes())
+        return h.hexdigest()
+
+    def test_shm_and_pickle_caches_byte_identical(self, tmp_path):
+        scs = expand_grid(BASE, [60], seeds=(0, 1))
+        d_shm, d_pkl = tmp_path / "shm", tmp_path / "pkl"
+        events = []
+        run_sweep(scs, workers=2, cache_dir=d_shm, shm=True,
+                  progress=events.append)
+        assert all(e.ser_seconds > 0 for e in events if not e.from_cache)
+        run_sweep(scs, workers=2, cache_dir=d_pkl, shm=False,
+                  progress=events.append)
+        assert self._cache_digest(d_shm) == self._cache_digest(d_pkl)
+        assert not _shm_entries("repro_sweep")
+
+    def test_serial_sweep_has_no_transport(self):
+        events = []
+        run_sweep(expand_grid(BASE, [60], seeds=(0,)), workers=0,
+                  shm=True, progress=events.append)
+        assert events[0].ser_seconds == 0.0
+
+    def test_env_override_disables_shm(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_SHM", "0")
+        from repro.sim.sweep import _resolve_shm
+
+        assert _resolve_shm(None, 2) is False
+        assert _resolve_shm(True, 2) is True  # explicit arg wins
+
+    def test_shm_never_engages_serially(self):
+        from repro.sim.sweep import _resolve_shm
+
+        assert _resolve_shm(True, 0) is False
+
+
+class TestOrphanReaping:
+    def test_killed_worker_segment_is_swept(self):
+        """A worker that dies after publishing leaks its segment; the
+        prefix sweep must find and unlink it."""
+        prefix = sweep_prefix()
+        pid = os.fork()
+        if pid == 0:  # child: publish, then die without unlinking
+            pack_result(np.arange(100_000, dtype=np.float64), prefix)
+            os.kill(os.getpid(), signal.SIGKILL)
+        os.waitpid(pid, 0)
+        assert len(_shm_entries(prefix)) == 1
+        assert cleanup_segments(prefix) == 1
+        assert not _shm_entries(prefix)
+
+    def test_cleanup_ignores_other_prefixes(self):
+        mine, other = sweep_prefix(), sweep_prefix()
+        payload = pack_result(np.arange(100_000, dtype=np.float64), other)
+        try:
+            assert cleanup_segments(mine) == 0
+            assert _shm_entries(other)
+        finally:
+            cleanup_segments(other)
+
+    def test_sweep_reaps_orphans_from_crashed_workers(self, tmp_path):
+        """End-to-end: a sweep whose worker crashes mid-flight must not
+        leave segments behind once it returns."""
+        import repro.sim.sweep as sweep_mod
+
+        before = set(_shm_entries("repro_sweep"))
+        scs = expand_grid(BASE, [60], seeds=(0, 1))
+        run_sweep(scs, workers=2, shm=True, task_retries=0)
+        assert set(_shm_entries("repro_sweep")) == before
